@@ -1,0 +1,150 @@
+// Command cpasim runs one CMP simulation and reports per-thread and
+// cache-level results, including the partition decisions the CPA made.
+//
+// Examples:
+//
+//	cpasim -workload 2T_04 -config M-0.75N
+//	cpasim -benchmarks mcf,crafty -config C-L -size 1024
+//	cpasim -workload 8T_01 -policy BT            (non-partitioned BT)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/cmp"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/partition"
+	"repro/internal/replacement"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wlName     = flag.String("workload", "", "Table II workload name (e.g. 2T_04)")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark list (alternative to -workload)")
+		config     = flag.String("config", "", "CPA acronym (C-L, M-L, M-1.0N, M-0.75N, M-0.5N, M-BT); empty = non-partitioned")
+		policy     = flag.String("policy", "LRU", "L2 replacement policy for non-partitioned runs: LRU, NRU, BT, Random")
+		sizeKB     = flag.Int("size", 2048, "L2 size in KB")
+		insts      = flag.Uint64("insts", 1_000_000, "instructions per thread")
+		interval   = flag.Uint64("interval", 250_000, "repartition interval in cycles")
+		sample     = flag.Int("sample", 32, "ATD set-sampling rate")
+		showParts  = flag.Bool("partitions", false, "log every repartition decision")
+		goal       = flag.String("goal", "minmisses", "partitioning goal: minmisses, throughput, fair, qos")
+		qosTarget  = flag.Float64("qos", 1.1, "max slowdown for thread 0 under -goal qos")
+		inCache    = flag.Bool("incache", false, "use Suh-style in-cache way counters instead of ATDs (LRU only)")
+	)
+	flag.Parse()
+
+	w, err := resolveWorkload(*wlName, *benchmarks)
+	if err != nil {
+		fatal(err)
+	}
+
+	kind, err := replacement.ParseKind(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	var cpaCfg *core.Config
+	if *config != "" {
+		cfg, err := core.ParseAcronym(*config)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Interval = *interval
+		cfg.SampleRate = *sample
+		cfg.InCacheProfiling = *inCache
+		switch strings.ToLower(*goal) {
+		case "minmisses":
+			cfg.Goal = core.GoalMinMisses
+		case "throughput":
+			cfg.Goal = core.GoalThroughput
+		case "fair":
+			cfg.Goal = core.GoalFair
+		case "qos":
+			cfg.Goal = core.GoalQoS
+			cfg.QoSTarget = *qosTarget
+		default:
+			fatal(fmt.Errorf("unknown goal %q", *goal))
+		}
+		cpaCfg = &cfg
+		kind = cfg.Policy
+	}
+
+	simCfg := cmp.Config{
+		Workload: w,
+		L2: cache.Config{
+			Name: "L2", SizeBytes: *sizeKB * 1024, LineBytes: 128, Ways: 16,
+			Policy: kind, Cores: w.Threads(), Seed: 7777,
+		},
+		CPA:      cpaCfg,
+		Params:   cpu.DefaultParams(),
+		L1:       cpu.DefaultL1Config(128),
+		MaxInsts: *insts,
+	}
+	sys, err := cmp.New(simCfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *showParts && sys.CPA() != nil {
+		sys.CPA().OnRepartition = func(cycle uint64, alloc partition.Allocation) {
+			fmt.Printf("repartition @%d cycles: %v\n", cycle, alloc)
+		}
+	}
+
+	res := sys.Run()
+
+	fmt.Printf("workload %s, config %s, L2 %dKB %s\n",
+		res.Workload, res.ConfigName, *sizeKB, kind)
+	fmt.Printf("%-10s %10s %12s %8s %12s %12s\n",
+		"benchmark", "IPC", "cycles", "L1miss%", "L2accesses", "L2miss%")
+	for _, c := range res.PerCore {
+		l1p := pct(c.Stats.L1Misses, c.Stats.L1Accesses)
+		l2p := pct(c.Stats.L2Misses, c.Stats.L2Accesses)
+		fmt.Printf("%-10s %10.3f %12.0f %7.1f%% %12d %11.1f%%\n",
+			c.Benchmark, c.IPC, c.Cycles, l1p, c.Stats.L2Accesses, l2p)
+	}
+	fmt.Printf("\nthroughput (sum IPC): %.3f\n", res.Throughput())
+	fmt.Printf("finish cycles: %.0f\n", res.FinishCycles)
+	fmt.Printf("L2 totals: %d accesses, %d misses\n", res.L2Accesses, res.L2Misses)
+	if sys.CPA() != nil {
+		fmt.Printf("repartitions: %d, final allocation: %v\n",
+			res.Repartitions, sys.CPA().Allocation())
+	}
+}
+
+func resolveWorkload(name, benches string) (workload.Workload, error) {
+	switch {
+	case name != "" && benches != "":
+		return workload.Workload{}, fmt.Errorf("use -workload or -benchmarks, not both")
+	case name != "":
+		return workload.Lookup(name)
+	case benches != "":
+		list := strings.Split(benches, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+			if _, err := workload.Get(list[i]); err != nil {
+				return workload.Workload{}, err
+			}
+		}
+		return workload.Workload{Name: "custom", Benchmarks: list}, nil
+	default:
+		return workload.Workload{}, fmt.Errorf("specify -workload or -benchmarks")
+	}
+}
+
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den) * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command misscurve characterizes benchmarks: it runs each requested
+// benchmark's trace through a private L1 into an LRU profiling monitor
+// (exactly the pipeline the CPA sees) and prints the L2 miss-ratio curve
+// versus assigned ways, plus summary rates. This is the quickest way to
+// understand why MinMisses allocates the way it does.
+//
+//	misscurve [-insts N] [-size KB] [benchmark ...]
+//
+// With no arguments it characterizes the whole catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/profiling"
+	"repro/internal/replacement"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		insts  = flag.Uint64("insts", 500_000, "instructions to trace per benchmark")
+		sizeKB = flag.Int("size", 2048, "L2 size in KB (16-way, 128B lines)")
+	)
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+
+	sets := *sizeKB * 1024 / (128 * 16)
+	headers := []string{"benchmark", "L1miss%", "L2apki"}
+	for w := 1; w <= 16; w++ {
+		headers = append(headers, fmt.Sprint(w))
+	}
+	var rows [][]string
+	for _, name := range names {
+		prof, err := workload.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misscurve:", err)
+			os.Exit(1)
+		}
+		row, err := characterize(prof, name, *insts, sets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misscurve:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Printf("L2 miss ratio by assigned ways (%dKB 16-way L2, %d insts/benchmark)\n\n",
+		*sizeKB, *insts)
+	fmt.Print(textplot.Table(headers, rows))
+	fmt.Println("\nL2apki = L2 accesses per kilo-instruction (the demand the thread")
+	fmt.Println("puts on the shared cache); columns 1..16 are miss ratios at that")
+	fmt.Println("many ways — the curve MinMisses optimizes over.")
+}
+
+func characterize(prof trace.Profile, name string, insts uint64, sets int) ([]string, error) {
+	g := trace.NewGenerator(prof, 0, workload.Seed(name), 128)
+	l1 := cache.New(cache.Config{Name: "L1", SizeBytes: 32 * 1024,
+		LineBytes: 128, Ways: 2, Policy: replacement.LRU, Cores: 1})
+	mon := profiling.NewMonitor(profiling.Config{
+		L2Sets: sets, Ways: 16, LineBytes: 128, SampleRate: 1,
+		Kind: replacement.LRU,
+	})
+	var mem uint64
+	for g.Insts() < insts {
+		e := g.Next()
+		if e.Kind != trace.Mem {
+			continue
+		}
+		mem++
+		if !l1.Access(0, e.Addr).Hit {
+			mon.Observe(e.Addr)
+		}
+	}
+	l1s := l1.Stats()
+	l1MissPct := float64(l1s.TotalMisses()) / float64(l1s.TotalAccesses()) * 100
+	apki := float64(mon.Observed()) / float64(g.Insts()) * 1000
+
+	row := []string{name, fmt.Sprintf("%.1f", l1MissPct), fmt.Sprintf("%.1f", apki)}
+	total := float64(mon.SDH().Total())
+	for w := 1; w <= 16; w++ {
+		if total == 0 {
+			row = append(row, "-")
+			continue
+		}
+		ratio := float64(mon.SDH().Misses(w)) / total
+		cell := fmt.Sprintf("%.2f", ratio)
+		// Trim the leading zero so the wide table stays readable.
+		cell = strings.TrimPrefix(cell, "0")
+		row = append(row, cell)
+	}
+	return row, nil
+}

@@ -1,0 +1,123 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro [-experiment all|table1|table2|fig6|fig7|fig8|fig9]
+//	      [-insts N] [-interval N] [-sample N] [-limit N]
+//	      [-csvdir DIR] [-v]
+//
+// The default instruction budget (1M per thread) is a scaled-down stand-in
+// for the paper's 100M SimPoint slices; raise -insts for tighter numbers.
+// With -csvdir, each figure also writes a machine-readable CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/replacement"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig6, fig7, fig8, fig9")
+		insts      = flag.Uint64("insts", 1_000_000, "instructions per thread")
+		interval   = flag.Uint64("interval", 250_000, "repartition interval in cycles")
+		sample     = flag.Int("sample", 32, "ATD set-sampling rate (1 in N sets)")
+		limit      = flag.Int("limit", 0, "max workloads per thread count (0 = all)")
+		csvdir     = flag.String("csvdir", "", "directory for CSV output (optional)")
+		verbose    = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	if err := workload.Validate(); err != nil {
+		fatal(err)
+	}
+	opt := experiments.Options{
+		Insts:         *insts,
+		Interval:      *interval,
+		SampleRate:    *sample,
+		L2SizeKB:      2048,
+		WorkloadLimit: *limit,
+	}
+	if *verbose {
+		opt.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	h := experiments.New(opt)
+
+	writeCSV := func(name, content string) {
+		if *csvdir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*csvdir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			fmt.Print(experiments.Table1())
+		case "table2":
+			fmt.Print(experiments.Table2())
+		case "fig6":
+			d, err := h.Fig6([]replacement.Kind{
+				replacement.LRU, replacement.NRU, replacement.BT, replacement.Random})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(d.Render())
+			writeCSV("fig6.csv", d.CSV())
+		case "fig7":
+			d, err := h.Fig7()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(d.Render())
+			writeCSV("fig7.csv", d.CSV())
+		case "fig8":
+			d, err := h.Fig8()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(d.Render())
+			writeCSV("fig8.csv", d.CSV())
+		case "fig9":
+			d, err := h.Fig9()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(d.Render())
+			writeCSV("fig9.csv", d.CSV())
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "table2", "fig6", "fig7", "fig9", "fig8"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// partition-explorer visualizes what the profiling logic sees and what
+// the partitioner does with it: it runs a workload, prints each thread's
+// miss-rate-versus-ways curve (from the live eSDH), and shows how the
+// MinMisses allocation evolves across repartition intervals — including
+// the buddy-rounded allocations the BT enforcement is restricted to.
+//
+//	go run ./examples/partition-explorer [workload] [acronym]
+//
+// Defaults: workload 2T_15 (lucas + mcf), acronym M-L.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/cmp"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+func main() {
+	wlName, acr := "2T_15", "M-L"
+	if len(os.Args) > 1 {
+		wlName = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		acr = os.Args[2]
+	}
+	w, err := workload.Lookup(wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpaCfg, err := core.ParseAcronym(acr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpaCfg.Interval = 150_000
+	cpaCfg.SampleRate = 8
+
+	sys, err := cmp.New(cmp.Config{
+		Workload: w,
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 1 << 20, LineBytes: 128, Ways: 16,
+			Policy: cpaCfg.Policy, Cores: w.Threads(), Seed: 1,
+		},
+		CPA:      &cpaCfg,
+		Params:   cpu.DefaultParams(),
+		L1:       cpu.DefaultL1Config(128),
+		MaxInsts: 900_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s (%s), config %s\n\n", w.Name,
+		strings.Join(w.Benchmarks, " + "), acr)
+	fmt.Println("allocation trace (one row per repartition):")
+	history := make([]partition.Allocation, 0, 16)
+	sys.CPA().OnRepartition = func(cycle uint64, alloc partition.Allocation) {
+		history = append(history, alloc)
+		fmt.Printf("  @%9d cycles: %v %s\n", cycle, alloc, allocBar(alloc))
+	}
+	res := sys.Run()
+
+	fmt.Println("\nfinal (e)SDH miss curves (miss ratio at w ways):")
+	for i, mon := range sys.CPA().Monitors() {
+		sdh := mon.SDH()
+		total := float64(sdh.Total())
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "  %-9s", w.Benchmarks[i])
+		for ways := 1; ways <= 16; ways++ {
+			if total == 0 {
+				sb.WriteString("   -  ")
+				continue
+			}
+			fmt.Fprintf(&sb, " %4.2f", float64(sdh.Misses(ways))/total)
+		}
+		fmt.Println(sb.String())
+	}
+	fmt.Println("            (columns: 1..16 ways)")
+
+	fmt.Printf("\nthroughput %.3f after %d repartitions\n", res.Throughput(), res.Repartitions)
+	if len(history) > 0 {
+		fmt.Printf("final allocation: %v\n", history[len(history)-1])
+	}
+}
+
+// allocBar renders an allocation as a 16-character way map (a=core 0,
+// b=core 1, ...).
+func allocBar(alloc partition.Allocation) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for core, ways := range alloc {
+		for i := 0; i < ways; i++ {
+			sb.WriteByte(byte('a' + core))
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

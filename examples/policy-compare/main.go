@@ -1,0 +1,110 @@
+// policy-compare runs the same workload under every replacement policy,
+// partitioned and not, and prints a side-by-side comparison — a miniature
+// of the paper's Figures 6 and 7 on one workload.
+//
+//	go run ./examples/policy-compare [workload]
+//
+// The optional argument is a Table II workload name (default 2T_04,
+// vpr + art: a partitioning-sensitive pair).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/cmp"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/replacement"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := "2T_04"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := workload.Lookup(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type variant struct {
+		label   string
+		policy  replacement.Kind
+		acronym string // empty = non-partitioned
+	}
+	variants := []variant{
+		{"LRU (no partitioning)", replacement.LRU, ""},
+		{"NRU (no partitioning)", replacement.NRU, ""},
+		{"BT (no partitioning)", replacement.BT, ""},
+		{"Random (no partitioning)", replacement.Random, ""},
+		{"C-L  (counters + LRU)", replacement.LRU, "C-L"},
+		{"M-L  (masks + LRU)", replacement.LRU, "M-L"},
+		{"M-0.75N (masks + NRU)", replacement.NRU, "M-0.75N"},
+		{"M-BT (up/down + BT)", replacement.BT, "M-BT"},
+	}
+
+	labels := make([]string, 0, len(variants))
+	values := make([]float64, 0, len(variants))
+	rows := make([][]string, 0, len(variants))
+	for _, v := range variants {
+		res := run(w, v.policy, v.acronym)
+		labels = append(labels, v.label)
+		values = append(values, res.Throughput())
+		missRate := float64(res.L2Misses) / float64(res.L2Accesses) * 100
+		rows = append(rows, []string{
+			v.label,
+			fmt.Sprintf("%.3f", res.Throughput()),
+			fmt.Sprintf("%d", res.L2Misses),
+			fmt.Sprintf("%.1f%%", missRate),
+			fmt.Sprintf("%d", res.Repartitions),
+		})
+	}
+
+	fmt.Printf("workload %s: %v\n\n", w.Name, w.Benchmarks)
+	fmt.Print(textplot.Table(
+		[]string{"configuration", "throughput", "L2 misses", "L2 miss rate", "repartitions"}, rows))
+	fmt.Println("\nthroughput:")
+	lo := values[0]
+	hi := values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Print(textplot.Bars(labels, values, lo*0.95, hi*1.02, 40))
+}
+
+func run(w workload.Workload, kind replacement.Kind, acronym string) cmp.Results {
+	cfg := cmp.Config{
+		Workload: w,
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 1 << 20, LineBytes: 128, Ways: 16,
+			Policy: kind, Cores: w.Threads(), Seed: 1,
+		},
+		Params:   cpu.DefaultParams(),
+		L1:       cpu.DefaultL1Config(128),
+		MaxInsts: 800_000,
+	}
+	if acronym != "" {
+		cpaCfg, err := core.ParseAcronym(acronym)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpaCfg.Interval = 100_000
+		cpaCfg.SampleRate = 16
+		cfg.CPA = &cpaCfg
+	}
+	sys, err := cmp.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Run()
+}

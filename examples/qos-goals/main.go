@@ -1,0 +1,96 @@
+// qos-goals contrasts the partitioner's optimization goals — the paper's
+// MinMisses plus the FlexDCP-style extensions (throughput, fairness, QoS)
+// — on one workload where they genuinely disagree: a cache-hungry thread
+// (art) against a mid-size thread (twolf).
+//
+//	go run ./examples/qos-goals
+//
+// MinMisses/throughput favor whoever converts ways into the most hits;
+// fairness equalizes slowdowns; QoS pins thread 0's slowdown under a
+// bound no matter the cost to others.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/cmp"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/replacement"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	w := workload.Workload{Name: "qos-demo", Benchmarks: []string{"art", "twolf"}}
+
+	type variant struct {
+		label string
+		goal  core.Goal
+		qos   float64
+	}
+	variants := []variant{
+		{"MinMisses (paper)", core.GoalMinMisses, 0},
+		{"MaxThroughput", core.GoalThroughput, 0},
+		{"FairSlowdown", core.GoalFair, 0},
+		{"QoS art<=1.1x", core.GoalQoS, 1.1},
+	}
+
+	// Isolation IPCs for slowdown reporting.
+	iso := map[string]float64{}
+	for _, b := range w.Benchmarks {
+		iso[b] = runOne(workload.Workload{Name: "iso", Benchmarks: []string{b}},
+			core.GoalMinMisses, 0, false).PerCore[0].IPC
+	}
+
+	rows := make([][]string, 0, len(variants))
+	for _, v := range variants {
+		res := runOne(w, v.goal, v.qos, true)
+		slow := func(i int) float64 {
+			return iso[w.Benchmarks[i]] / res.PerCore[i].IPC
+		}
+		rows = append(rows, []string{
+			v.label,
+			fmt.Sprintf("%.3f", res.Throughput()),
+			fmt.Sprintf("%.2fx", slow(0)),
+			fmt.Sprintf("%.2fx", slow(1)),
+		})
+	}
+	fmt.Printf("workload: %v (isolation IPCs: art %.3f, twolf %.3f)\n\n",
+		w.Benchmarks, iso["art"], iso["twolf"])
+	fmt.Print(textplot.Table(
+		[]string{"goal", "throughput", "art slowdown", "twolf slowdown"}, rows))
+	fmt.Println("\nLower slowdown = closer to running alone. The QoS goal buys")
+	fmt.Println("art's bound with twolf's ways; fairness balances the two.")
+}
+
+func runOne(w workload.Workload, goal core.Goal, qos float64, partitioned bool) cmp.Results {
+	cfg := cmp.Config{
+		Workload: w,
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 512 << 10, LineBytes: 128, Ways: 16,
+			Policy: replacement.LRU, Cores: w.Threads(), Seed: 1,
+		},
+		Params:   cpu.DefaultParams(),
+		L1:       cpu.DefaultL1Config(128),
+		MaxInsts: 900_000,
+	}
+	if partitioned {
+		cpaCfg, err := core.ParseAcronym("M-L")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpaCfg.Interval = 100_000
+		cpaCfg.SampleRate = 8
+		cpaCfg.Goal = goal
+		cpaCfg.QoSTarget = qos
+		cfg.CPA = &cpaCfg
+	}
+	sys, err := cmp.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Run()
+}

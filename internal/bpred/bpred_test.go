@@ -1,0 +1,148 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestAlwaysTakenBranchLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x4000)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if out := p.Lookup(pc, true); !out.DirectionCorrect {
+			miss++
+		}
+	}
+	if miss > 2 {
+		t.Fatalf("always-taken branch mispredicted %d/100 times", miss)
+	}
+	if p.Branches() != 100 {
+		t.Fatalf("Branches() = %d", p.Branches())
+	}
+}
+
+func TestAlwaysNotTakenBranchLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x8000)
+	for i := 0; i < 10; i++ {
+		p.Lookup(pc, false)
+	}
+	if out := p.Lookup(pc, false); !out.DirectionCorrect {
+		t.Fatal("not-taken branch still mispredicted after training")
+	}
+}
+
+func TestAlternatingPatternLearnedByGshare(t *testing.T) {
+	// A strict T/NT alternation defeats bimodal but gshare (with history)
+	// learns it; the tournament must converge to high accuracy.
+	p := New(DefaultConfig())
+	pc := uint64(0xc000)
+	// Train.
+	for i := 0; i < 2000; i++ {
+		p.Lookup(pc, i%2 == 0)
+	}
+	correct := 0
+	for i := 2000; i < 3000; i++ {
+		if out := p.Lookup(pc, i%2 == 0); out.DirectionCorrect {
+			correct++
+		}
+	}
+	if correct < 950 {
+		t.Fatalf("alternating pattern: %d/1000 correct after training", correct)
+	}
+}
+
+func TestRandomBranchesNearChance(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := xrand.New(77)
+	for i := 0; i < 20000; i++ {
+		pc := uint64(rng.Intn(64)) * 4
+		p.Lookup(pc, rng.Bool(0.5))
+	}
+	acc := p.Accuracy()
+	if acc < 0.4 || acc > 0.6 {
+		t.Fatalf("accuracy on random outcomes = %.3f, want ~0.5", acc)
+	}
+}
+
+func TestBiasedBranchesHighAccuracy(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := xrand.New(78)
+	bias := make([]float64, 64)
+	for i := range bias {
+		if rng.Bool(0.5) {
+			bias[i] = 0.95
+		} else {
+			bias[i] = 0.05
+		}
+	}
+	for i := 0; i < 50000; i++ {
+		b := rng.Intn(64)
+		p.Lookup(uint64(b)*4, rng.Bool(bias[b]))
+	}
+	if acc := p.Accuracy(); acc < 0.9 {
+		t.Fatalf("accuracy on 95%%-biased branches = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestBTBMissOnFirstTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	out := p.Lookup(0x1234, true)
+	if out.BTBHit {
+		t.Fatal("first taken branch hit in an empty BTB")
+	}
+	out = p.Lookup(0x1234, true)
+	if !out.BTBHit {
+		t.Fatal("second taken branch missed in BTB")
+	}
+	if p.BTBMisses() != 1 {
+		t.Fatalf("BTBMisses = %d, want 1", p.BTBMisses())
+	}
+}
+
+func TestNotTakenNeverChargesBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		if out := p.Lookup(uint64(i)*4096, false); !out.BTBHit {
+			t.Fatal("not-taken branch reported a BTB miss")
+		}
+	}
+	if p.BTBMisses() != 0 {
+		t.Fatalf("BTBMisses = %d, want 0", p.BTBMisses())
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	// 1KB / 4B entries = 256 entries. Cycling through 512 distinct taken
+	// branches must keep missing.
+	p := New(DefaultConfig())
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 512; i++ {
+			p.Lookup(uint64(i)*4, true)
+		}
+	}
+	// With 512 branches and 256 entries of LRU, every access misses.
+	if p.BTBMisses() < 1200 {
+		t.Fatalf("BTBMisses = %d, want heavy thrashing", p.BTBMisses())
+	}
+}
+
+func TestAccuracyEmptyIsOne(t *testing.T) {
+	if acc := New(DefaultConfig()).Accuracy(); acc != 1 {
+		t.Fatalf("empty accuracy = %v", acc)
+	}
+}
+
+func TestSaturatingCounters(t *testing.T) {
+	if satInc(3) != 3 {
+		t.Error("satInc(3) overflowed")
+	}
+	if satDec(0) != 0 {
+		t.Error("satDec(0) underflowed")
+	}
+	if satInc(1) != 2 || satDec(2) != 1 {
+		t.Error("mid-range counter updates wrong")
+	}
+}

@@ -1,0 +1,31 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/replacement"
+	"repro/internal/xrand"
+)
+
+func benchAccess(b *testing.B, kind replacement.Kind) {
+	b.Helper()
+	c := New(Config{
+		Name: "L2", SizeBytes: 2 << 20, LineBytes: 128, Ways: 16,
+		Policy: kind, Cores: 2, Seed: 1,
+	})
+	rng := xrand.New(7)
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(40000)) * 128
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(i&1, addrs[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B)    { benchAccess(b, replacement.LRU) }
+func BenchmarkAccessNRU(b *testing.B)    { benchAccess(b, replacement.NRU) }
+func BenchmarkAccessBT(b *testing.B)     { benchAccess(b, replacement.BT) }
+func BenchmarkAccessRandom(b *testing.B) { benchAccess(b, replacement.Random) }

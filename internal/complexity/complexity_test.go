@@ -1,0 +1,166 @@
+package complexity
+
+import (
+	"testing"
+
+	"repro/internal/replacement"
+)
+
+// The assertions below pin the paper's bracketed Table I numbers for the
+// 16-way 2MB L2 / 128B lines / 2 cores / 47 tag bits configuration.
+
+func TestPaperGeometry(t *testing.T) {
+	g := PaperGeometry()
+	if g.Sets() != 1024 {
+		t.Fatalf("sets = %d, want 1024", g.Sets())
+	}
+}
+
+func TestTableIaStorageNoPartitioning(t *testing.T) {
+	g := PaperGeometry()
+	// LRU: A*log2(A) bits/set -> 8 KB.
+	if kb := StorageKB(replacement.LRU, g, false); kb != 8.0 {
+		t.Errorf("LRU storage = %v KB, want 8", kb)
+	}
+	// NRU: A bits/set + pointer -> 2 KB (pointer adds 4 bits: negligible
+	// but present).
+	bits := StorageBits(replacement.NRU, g, false)
+	if bits != 1024*16+4 {
+		t.Errorf("NRU storage = %d bits, want %d", bits, 1024*16+4)
+	}
+	if kb := StorageKB(replacement.NRU, g, false); kb < 2.0 || kb > 2.001 {
+		t.Errorf("NRU storage = %v KB, want ~2", kb)
+	}
+	// BT: (A-1) bits/set -> 1.875 KB.
+	if kb := StorageKB(replacement.BT, g, false); kb != 1.875 {
+		t.Errorf("BT storage = %v KB, want 1.875", kb)
+	}
+}
+
+func TestTableIaStorageWithMasks(t *testing.T) {
+	g := PaperGeometry()
+	// The table keeps the headline sizes (8 / 2 / 1.875 KB): the global
+	// additions are a handful of bits.
+	lru := StorageBits(replacement.LRU, g, true) - StorageBits(replacement.LRU, g, false)
+	if lru != 16*2 {
+		t.Errorf("LRU mask overhead = %d bits, want A*N = 32", lru)
+	}
+	nru := StorageBits(replacement.NRU, g, true) - StorageBits(replacement.NRU, g, false)
+	if nru != 16*2 {
+		t.Errorf("NRU mask overhead = %d bits, want A*N = 32", nru)
+	}
+	// BT: log2(A) up + log2(A) down per core = 8 bits/core.
+	bt := StorageBits(replacement.BT, g, true) - StorageBits(replacement.BT, g, false)
+	if bt != 2*2*4 {
+		t.Errorf("BT vector overhead = %d bits, want 16", bt)
+	}
+}
+
+func TestTableIbEventCosts(t *testing.T) {
+	g := PaperGeometry()
+
+	lru := Costs(replacement.LRU, g)
+	if lru.TagCompare != 752 {
+		t.Errorf("LRU tag compare = %d, want 752", lru.TagCompare)
+	}
+	if lru.UpdateNoPart != 64 {
+		t.Errorf("LRU update = %d, want 64", lru.UpdateNoPart)
+	}
+	if lru.FindOwned != 32 {
+		t.Errorf("LRU find owned = %d, want 32", lru.FindOwned)
+	}
+	// Formula (A-1)*log2(A) = 60; the paper's bracketed 52 is an
+	// arithmetic slip (documented in Costs).
+	if lru.UpdatePart != 60 {
+		t.Errorf("LRU partitioned update = %d, want 60", lru.UpdatePart)
+	}
+	if lru.GetData != 1024 {
+		t.Errorf("LRU get data = %d, want 1024", lru.GetData)
+	}
+	if lru.ProfilingRead != 4 {
+		t.Errorf("LRU profiling read = %d, want 4", lru.ProfilingRead)
+	}
+
+	nru := Costs(replacement.NRU, g)
+	if nru.TagCompare != 752 || nru.GetData != 1024 {
+		t.Error("NRU shared costs wrong")
+	}
+	// 15 used bits + 4 pointer bits.
+	if nru.UpdateNoPart != 19 {
+		t.Errorf("NRU update = %d, want 19 (15+4)", nru.UpdateNoPart)
+	}
+	if nru.FindOwned != 32 {
+		t.Errorf("NRU find owned = %d, want 32", nru.FindOwned)
+	}
+	if nru.ProfilingRead != 16 {
+		t.Errorf("NRU profiling read = %d, want 16", nru.ProfilingRead)
+	}
+
+	bt := Costs(replacement.BT, g)
+	if bt.UpdateNoPart != 4 {
+		t.Errorf("BT update = %d, want 4", bt.UpdateNoPart)
+	}
+	if bt.FindOwned != 0 {
+		t.Errorf("BT find owned = %d, want 0 (vectors encode it)", bt.FindOwned)
+	}
+	// log2(A) BT bits + log2(A) up + log2(A) down = 12.
+	if bt.UpdatePart != 12 {
+		t.Errorf("BT partitioned update = %d, want 12", bt.UpdatePart)
+	}
+	// XOR 2*log2(A) + SUB 2*log2(A) = 16.
+	if bt.ProfilingRead != 16 {
+		t.Errorf("BT profiling read = %d, want 16", bt.ProfilingRead)
+	}
+}
+
+func TestStorageOrderingLRUWorst(t *testing.T) {
+	// The paper's core complexity claim: LRU >> NRU > BT in metadata.
+	g := PaperGeometry()
+	lru := StorageBits(replacement.LRU, g, true)
+	nru := StorageBits(replacement.NRU, g, true)
+	bt := StorageBits(replacement.BT, g, true)
+	if !(lru > nru && nru > bt) {
+		t.Fatalf("storage ordering violated: LRU %d, NRU %d, BT %d", lru, nru, bt)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	rows := Report(PaperGeometry())
+	if len(rows) != 8 {
+		t.Fatalf("report has %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Label == "" {
+			t.Error("row without label")
+		}
+		for i, v := range r.Values {
+			if v == "" {
+				t.Errorf("row %q column %d empty", r.Label, i)
+			}
+		}
+	}
+}
+
+func TestScalesWithGeometry(t *testing.T) {
+	small := Geometry{SizeBytes: 512 << 10, LineBytes: 128, Ways: 16,
+		Cores: 2, TagBits: 47, LineBits: 1024}
+	big := PaperGeometry()
+	for _, k := range []replacement.Kind{replacement.LRU, replacement.NRU, replacement.BT} {
+		if StorageBits(k, small, false)*4 != StorageBits(k, big, false)-boundaryBits(k) {
+			// 512KB has 1/4 the sets; per-set storage scales by 4, global
+			// bits (NRU pointer) do not.
+			continue
+		}
+	}
+	// Direct check for LRU (no global bits): exact 4x scaling.
+	if StorageBits(replacement.LRU, small, false)*4 != StorageBits(replacement.LRU, big, false) {
+		t.Error("LRU storage does not scale with sets")
+	}
+}
+
+func boundaryBits(k replacement.Kind) int {
+	if k == replacement.NRU {
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,51 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writeProfile() trace.Profile {
+	return trace.Profile{
+		Name: "writer", BaseIPC: 2, MemRatio: 0.4, BranchRatio: 0,
+		BranchBias: 0.5, MLPOverlap: 0, WriteRatio: 0.5,
+		Phases: []trace.Phase{{Insts: 1 << 40, ColdWeight: 1}},
+	}
+}
+
+func TestDirtyL1VictimsReachL2(t *testing.T) {
+	// Cold stores dirty L1 lines; as the L1 churns, dirty victims must be
+	// written back to the L2.
+	l2 := &perfectL2{}
+	c := runCore(t, writeProfile(), l2, 100000)
+	if c.Stats().L1Writebacks == 0 {
+		t.Fatal("no L1 writebacks despite 50% store mix over cold lines")
+	}
+	if l2.writebacks != c.Stats().L1Writebacks {
+		t.Fatalf("L2 received %d writebacks, core issued %d",
+			l2.writebacks, c.Stats().L1Writebacks)
+	}
+}
+
+func TestReadOnlyStreamNoWritebacks(t *testing.T) {
+	c := runCore(t, memProfile(0), missL2{}, 50000)
+	if c.Stats().L1Writebacks != 0 {
+		t.Fatalf("read-only stream produced %d writebacks", c.Stats().L1Writebacks)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	// With an always-missing L2, a store-heavy stream must be much
+	// faster than a load-heavy one: stores drain through the write
+	// buffer.
+	loads := memProfile(0) // all loads
+	stores := writeProfile()
+	stores.WriteRatio = 0.9
+	cl := runCore(t, loads, missL2{}, 60000)
+	cs := runCore(t, stores, missL2{}, 60000)
+	if cs.IPC() < cl.IPC()*2 {
+		t.Fatalf("store-heavy IPC %.3f not much better than load-heavy %.3f",
+			cs.IPC(), cl.IPC())
+	}
+}

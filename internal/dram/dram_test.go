@@ -1,0 +1,126 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Banks = 3
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two banks accepted")
+	}
+	bad = DefaultConfig()
+	bad.RowBytes = 1000
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two row accepted")
+	}
+}
+
+func TestSequentialStreamHitsRows(t *testing.T) {
+	m := New(DefaultConfig())
+	// A 128B-line stream walks each 8KB row 64 times before moving on.
+	var addr uint64
+	now := 0.0
+	for i := 0; i < 6400; i++ {
+		lat := m.Access(addr, now)
+		now += float64(lat) + 1000 // spaced out: no queueing
+		addr += 128
+	}
+	if r := m.RowHitRate(); r < 0.95 {
+		t.Fatalf("streaming row-hit rate %.3f, want > 0.95", r)
+	}
+}
+
+func TestRandomAccessesMissRows(t *testing.T) {
+	m := New(DefaultConfig())
+	rng := xrand.New(5)
+	now := 0.0
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1<<20)) * 8192 // a new random row each time
+		lat := m.Access(addr, now)
+		now += float64(lat) + 1000
+	}
+	if r := m.RowHitRate(); r > 0.05 {
+		t.Fatalf("random row-hit rate %.3f, want near 0", r)
+	}
+}
+
+func TestRowHitCheaperThanMiss(t *testing.T) {
+	m := New(DefaultConfig())
+	first := m.Access(0, 0)         // row miss (cold)
+	second := m.Access(128, 100000) // same row, long after: hit, no queue
+	if second >= first {
+		t.Fatalf("row hit latency %d not below miss latency %d", second, first)
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	// Two back-to-back requests to the same bank at the same instant: the
+	// second must queue behind the first's service time.
+	a := m.Access(0, 0)
+	b := m.Access(128, 0) // same row, same bank, same time
+	if b < a-cfg.RowMissCycles+cfg.RowHitCycles+cfg.ServiceCycles {
+		t.Fatalf("second request (%d cycles) did not queue behind the first (%d)", b, a)
+	}
+	if m.Stats().QueuedCycles == 0 {
+		t.Fatal("no queueing recorded")
+	}
+}
+
+func TestDistinctBanksNoQueueing(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	m.Access(0, 0)
+	// Next row lands in the next bank: no queueing at the same instant.
+	lat := m.Access(uint64(cfg.RowBytes), 0)
+	if lat != cfg.BaseCycles+cfg.RowMissCycles {
+		t.Fatalf("cross-bank access latency %d, want %d",
+			lat, cfg.BaseCycles+cfg.RowMissCycles)
+	}
+	if m.Stats().QueuedCycles != 0 {
+		t.Fatal("spurious queueing across banks")
+	}
+}
+
+func TestAverageNearPaperConstant(t *testing.T) {
+	// The default config should average in the neighborhood of the
+	// paper's flat 250 cycles on a mixed stream.
+	m := New(DefaultConfig())
+	rng := xrand.New(9)
+	now := 0.0
+	var total uint64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		var addr uint64
+		if rng.Bool(0.4) { // some spatial locality
+			addr = uint64(rng.Intn(64)) * 128
+		} else {
+			addr = uint64(rng.Intn(1<<18)) * 8192
+		}
+		lat := m.Access(addr, now)
+		total += lat
+		now += 300 // a miss every ~300 cycles
+	}
+	avg := float64(total) / n
+	if avg < 180 || avg > 330 {
+		t.Fatalf("average latency %.1f cycles, want in [180, 330] (paper constant: 250)", avg)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 0)
+	m.Access(128, 100000)
+	s := m.Stats()
+	if s.Accesses != 2 || s.RowHits != 1 || s.RowMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,210 @@
+// Package experiments reproduces the paper's evaluation: Table I
+// (complexity), Table II (setup), Figure 6 (pseudo-LRU vs LRU on
+// non-partitioned caches), Figure 7 (the six CPA configurations), Figure 8
+// (partitioned vs non-partitioned across cache sizes) and Figure 9 (power
+// and energy).
+//
+// The harness runs scaled-down simulations by default (the paper commits
+// 100 M instructions per thread on a cycle-accurate simulator; see
+// EXPERIMENTS.md for the scaling discussion) and caches both isolation
+// baselines and complete runs so figures that share configurations — 7 and
+// 9 — reuse work.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cmp"
+	"repro/internal/complexity"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/profiling"
+	"repro/internal/replacement"
+	"repro/internal/workload"
+)
+
+// Options scale the experiments.
+type Options struct {
+	Insts      uint64 // per-thread instruction target
+	Interval   uint64 // repartition interval in cycles
+	SampleRate int    // ATD set sampling (paper: 32)
+	L2SizeKB   int    // default L2 capacity for Figures 6, 7, 9
+	// WorkloadLimit caps the number of workloads per thread count
+	// (0 = all); used to keep tests and smoke runs fast.
+	WorkloadLimit int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(format string, args ...any)
+}
+
+// DefaultOptions returns the scaled defaults recorded in EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Insts:      1_000_000,
+		Interval:   250_000,
+		SampleRate: 32,
+		L2SizeKB:   2048,
+	}
+}
+
+// Harness runs simulations with caching.
+type Harness struct {
+	opt      Options
+	runCache map[string]cmp.Results
+	isoCache map[string]float64
+}
+
+// New returns a harness for the options.
+func New(opt Options) *Harness {
+	if opt.Insts == 0 {
+		opt = DefaultOptions()
+	}
+	return &Harness{
+		opt:      opt,
+		runCache: make(map[string]cmp.Results),
+		isoCache: make(map[string]float64),
+	}
+}
+
+// Options returns the harness options.
+func (h *Harness) Options() Options { return h.opt }
+
+func (h *Harness) progress(format string, args ...any) {
+	if h.opt.Progress != nil {
+		h.opt.Progress(format, args...)
+	}
+}
+
+// limitWorkloads applies Options.WorkloadLimit.
+func (h *Harness) limitWorkloads(ws []workload.Workload) []workload.Workload {
+	if h.opt.WorkloadLimit > 0 && len(ws) > h.opt.WorkloadLimit {
+		return ws[:h.opt.WorkloadLimit]
+	}
+	return ws
+}
+
+// l2Config builds the shared L2 for a run.
+func (h *Harness) l2Config(kind replacement.Kind, cores, sizeKB int) cache.Config {
+	return cache.Config{
+		Name:      "L2",
+		SizeBytes: sizeKB * 1024,
+		LineBytes: 128,
+		Ways:      16,
+		Policy:    kind,
+		Cores:     cores,
+		Seed:      7777,
+	}
+}
+
+// Run simulates `w` on a `sizeKB` L2 with the given replacement policy and
+// optional CPA acronym (empty = non-partitioned), caching the result.
+func (h *Harness) Run(w workload.Workload, kind replacement.Kind, acronym string, sizeKB int) (cmp.Results, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d", w.Name, kind, acronym, sizeKB)
+	if res, ok := h.runCache[key]; ok {
+		return res, nil
+	}
+	cfg := cmp.Config{
+		Workload: w,
+		L2:       h.l2Config(kind, w.Threads(), sizeKB),
+		Params:   cpu.DefaultParams(),
+		L1:       cpu.DefaultL1Config(128),
+		MaxInsts: h.opt.Insts,
+	}
+	if acronym != "" {
+		cpaCfg, err := core.ParseAcronym(acronym)
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		cpaCfg.Interval = h.opt.Interval
+		cpaCfg.SampleRate = h.opt.SampleRate
+		cfg.CPA = &cpaCfg
+	}
+	sys, err := cmp.New(cfg)
+	if err != nil {
+		return cmp.Results{}, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	res := sys.Run()
+	h.runCache[key] = res
+	h.progress("ran %-26s throughput=%.3f", key, res.Throughput())
+	return res, nil
+}
+
+// IsolationIPC returns the benchmark's IPC running alone on a full
+// `sizeKB` LRU L2 (the weighted-speedup denominator; DESIGN.md §4.7).
+func (h *Harness) IsolationIPC(bench string, sizeKB int) (float64, error) {
+	key := fmt.Sprintf("%s|%d", bench, sizeKB)
+	if ipc, ok := h.isoCache[key]; ok {
+		return ipc, nil
+	}
+	w := workload.Workload{Name: "iso_" + bench, Benchmarks: []string{bench}}
+	res, err := h.Run(w, replacement.LRU, "", sizeKB)
+	if err != nil {
+		return 0, err
+	}
+	ipc := res.PerCore[0].IPC
+	h.isoCache[key] = ipc
+	return ipc, nil
+}
+
+// Summarize converts run results into the paper's three metrics using the
+// isolation baselines for the same cache size.
+func (h *Harness) Summarize(w workload.Workload, res cmp.Results, sizeKB int) (metrics.Summary, error) {
+	threads := make([]metrics.Thread, len(res.PerCore))
+	for i, c := range res.PerCore {
+		iso, err := h.IsolationIPC(w.Benchmarks[i], sizeKB)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		threads[i] = metrics.Thread{Benchmark: c.Benchmark, IPC: c.IPC, IsolationIPC: iso}
+	}
+	return metrics.Compute(threads)
+}
+
+// policyOf maps a CPA acronym to the L2 replacement policy it requires.
+func policyOf(acronym string) (replacement.Kind, error) {
+	cfg, err := core.ParseAcronym(acronym)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Policy, nil
+}
+
+// PowerInputs assembles the power-model inputs for a finished run.
+func (h *Harness) PowerInputs(w workload.Workload, res cmp.Results, kind replacement.Kind, partitioned bool, sizeKB int) power.Inputs {
+	geom := complexity.Geometry{
+		SizeBytes: sizeKB * 1024,
+		LineBytes: 128,
+		Ways:      16,
+		Cores:     w.Threads(),
+		TagBits:   47,
+		LineBits:  128 * 8,
+	}
+	extraKB := complexity.StorageKB(kind, geom, partitioned)
+	var insts uint64
+	for _, c := range res.PerCore {
+		insts += c.Insts
+	}
+	if partitioned {
+		// Per-core sampled ATD + SDH registers.
+		atdCfg := profiling.Config{
+			L2Sets: geom.Sets(), Ways: 16, LineBytes: 128,
+			SampleRate: h.opt.SampleRate, Kind: kind, NRUScale: 1,
+		}
+		atdBits := atdCfg.StorageBits(geom.TagBits) + (16+1)*32 // SDH: 17 32-bit registers
+		extraKB += float64(w.Threads()) * float64(atdBits) / 8 / 1024
+	}
+	return power.Inputs{
+		Cores:        w.Threads(),
+		SumIPC:       res.Throughput(),
+		Cycles:       res.FinishCycles,
+		Insts:        insts,
+		L2SizeMB:     float64(sizeKB) / 1024,
+		L2Accesses:   res.L2Accesses,
+		L2Misses:     res.L2Misses,
+		MemWrites:    res.MemWrites,
+		ATDObserves:  res.ATDObserves,
+		ExtraStateKB: extraKB,
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/replacement"
+	"repro/internal/workload"
+)
+
+// tinyOptions keeps harness tests fast: short runs, few workloads.
+func tinyOptions() Options {
+	return Options{
+		Insts:         50_000,
+		Interval:      20_000,
+		SampleRate:    8,
+		L2SizeKB:      1024,
+		WorkloadLimit: 2,
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	h := New(tinyOptions())
+	w, err := workload.Lookup("2T_01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.Run(w, replacement.LRU, "", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(w, replacement.LRU, "", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput() != b.Throughput() {
+		t.Fatal("cached run differs")
+	}
+	if len(h.runCache) == 0 {
+		t.Fatal("run not cached")
+	}
+}
+
+func TestIsolationIPCCached(t *testing.T) {
+	h := New(tinyOptions())
+	a, err := h.IsolationIPC("gzip", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= 0 {
+		t.Fatalf("isolation IPC = %v", a)
+	}
+	b, _ := h.IsolationIPC("gzip", 1024)
+	if a != b {
+		t.Fatal("isolation IPC changed between calls")
+	}
+}
+
+func TestSummarizeProducesSaneMetrics(t *testing.T) {
+	h := New(tinyOptions())
+	w, _ := workload.Lookup("2T_21") // crafty, eon: both compute bound
+	res, err := h.Run(w, replacement.LRU, "", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := h.Summarize(w, res, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Compute-bound pair barely shares: weighted speedup near 2, harmonic
+	// mean near 1.
+	if sum.WeightedSpeedup < 1.5 || sum.WeightedSpeedup > 2.05 {
+		t.Errorf("weighted speedup %.3f for compute pair", sum.WeightedSpeedup)
+	}
+	if sum.HarmonicMean < 0.75 || sum.HarmonicMean > 1.03 {
+		t.Errorf("harmonic mean %.3f for compute pair", sum.HarmonicMean)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	h := New(tinyOptions())
+	d, err := h.Fig6(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cores) != 4 || len(d.Policies) != 3 {
+		t.Fatalf("unexpected shape: %v cores %v policies", d.Cores, d.Policies)
+	}
+	for ci := range d.Cores {
+		// LRU relative to itself must be exactly 1.
+		if d.Rel[0][ci][0] != 1 {
+			t.Errorf("cores %d: LRU rel throughput %v != 1", d.Cores[ci], d.Rel[0][ci][0])
+		}
+		for pi := range d.Policies {
+			v := d.Rel[0][ci][pi]
+			if v < 0.5 || v > 1.2 {
+				t.Errorf("cores %d policy %v: rel throughput %v out of sane band",
+					d.Cores[ci], d.Policies[pi], v)
+			}
+		}
+	}
+	out := d.Render()
+	for _, want := range []string{"Figure 6", "Throughput", "Harmonic mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	csv := d.CSV()
+	if !strings.Contains(csv, "metric,cores,policy") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	h := New(tinyOptions())
+	d, err := h.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rel) != 3 || len(d.Rel[0]) != len(Fig7Configs) {
+		t.Fatalf("unexpected shape")
+	}
+	for i := range d.Cores {
+		if d.Rel[i][0].Throughput != 1 {
+			t.Errorf("C-L not unity baseline: %v", d.Rel[i][0].Throughput)
+		}
+		for ci, acr := range d.Configs {
+			v := d.Rel[i][ci].Throughput
+			if v < 0.5 || v > 1.3 {
+				t.Errorf("%d cores %s: rel throughput %v out of band", d.Cores[i], acr, v)
+			}
+		}
+	}
+	if !strings.Contains(d.Render(), "Figure 7") {
+		t.Error("render missing banner")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	h := New(tinyOptions())
+	d, err := h.Fig8With([]int{512, 1024}, Fig8Pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rel) != 3 {
+		t.Fatalf("pairs: %d", len(d.Rel))
+	}
+	if len(d.Workloads) == 0 {
+		t.Fatal("no workloads")
+	}
+	for pi := range d.Pairs {
+		for si := range d.Sizes {
+			if d.Avg[pi][si] <= 0 {
+				t.Errorf("pair %d size %d: AVG %v", pi, si, d.Avg[pi][si])
+			}
+		}
+	}
+	if !strings.Contains(d.Render(), "Figure 8") {
+		t.Error("render missing banner")
+	}
+	if !strings.Contains(d.CSV(), "AVG") {
+		t.Error("CSV missing AVG rows")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	// The paper's <0.3% profiling-power claim is tied to its 1/32 set
+	// sampling, so this test uses the paper's rate rather than the tiny
+	// harness default.
+	opt := tinyOptions()
+	opt.SampleRate = 32
+	h := New(opt)
+	d, err := h.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Cores {
+		if d.RelPower[i][0] != 1 || d.RelEnergy[i][0] != 1 {
+			t.Errorf("%d cores: baseline not unity", d.Cores[i])
+		}
+	}
+	if len(d.Breakdown2) != len(Fig7Configs) {
+		t.Fatalf("breakdowns: %d", len(d.Breakdown2))
+	}
+	// The paper's claim, at our scale: profiling power is negligible.
+	if f := d.ProfilingFraction(); f <= 0 || f > 0.003 {
+		t.Errorf("profiling fraction %.5f, want (0, 0.003]", f)
+	}
+	if !strings.Contains(d.Render(), "Figure 9") {
+		t.Error("render missing banner")
+	}
+}
+
+func TestFig9ReusesFig7Runs(t *testing.T) {
+	h := New(tinyOptions())
+	if _, err := h.Fig7(); err != nil {
+		t.Fatal(err)
+	}
+	before := len(h.runCache)
+	if _, err := h.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.runCache) != before {
+		t.Errorf("Fig9 ran %d extra simulations; should reuse Fig7's", len(h.runCache)-before)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"Table I", "8.000", "1.875", "752"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"Table II", "2T_01", "8T_11", "apsi, bzip2"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestDefaultOptionsApplied(t *testing.T) {
+	h := New(Options{})
+	if h.Options().Insts != DefaultOptions().Insts {
+		t.Fatal("zero options not defaulted")
+	}
+}

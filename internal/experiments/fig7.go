@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// Fig7Configs is the paper's configuration list in plot order.
+var Fig7Configs = []string{"C-L", "M-L", "M-1.0N", "M-0.75N", "M-0.5N", "M-BT"}
+
+// Fig7Data holds Figure 7: dynamic CPA configurations relative to the C-L
+// baseline for 2-, 4- and 8-core CMPs.
+type Fig7Data struct {
+	Cores   []int
+	Configs []string
+	// Rel[coreIdx][configIdx] aggregated (geomean) relative summaries.
+	Rel [][]metrics.Summary
+}
+
+// Fig7 runs the Figure 7 experiment with the paper's six configurations.
+func (h *Harness) Fig7() (*Fig7Data, error) {
+	return h.Fig7With(Fig7Configs)
+}
+
+// Fig7With runs Figure 7 with a custom configuration list; the first
+// entry is the baseline.
+func (h *Harness) Fig7With(configs []string) (*Fig7Data, error) {
+	if len(configs) < 2 {
+		return nil, fmt.Errorf("experiments: fig7 needs a baseline plus configs")
+	}
+	data := &Fig7Data{Cores: []int{2, 4, 8}, Configs: configs}
+	for _, cores := range data.Cores {
+		ws, err := workload.ByThreads(cores)
+		if err != nil {
+			return nil, err
+		}
+		ws = h.limitWorkloads(ws)
+
+		perConfig := make([][]metrics.Summary, len(configs))
+		for i := range perConfig {
+			perConfig[i] = make([]metrics.Summary, len(ws))
+		}
+		for wi, w := range ws {
+			var base metrics.Summary
+			for ci, acr := range configs {
+				kind, err := policyOf(acr)
+				if err != nil {
+					return nil, err
+				}
+				res, err := h.Run(w, kind, acr, h.opt.L2SizeKB)
+				if err != nil {
+					return nil, err
+				}
+				sum, err := h.Summarize(w, res, h.opt.L2SizeKB)
+				if err != nil {
+					return nil, err
+				}
+				if ci == 0 {
+					base = sum
+				}
+				perConfig[ci][wi] = sum
+			}
+			for ci := range configs {
+				perConfig[ci][wi] = perConfig[ci][wi].Relative(base)
+			}
+		}
+		row := make([]metrics.Summary, len(configs))
+		for ci := range configs {
+			row[ci] = metrics.Aggregate(perConfig[ci])
+		}
+		data.Rel = append(data.Rel, row)
+	}
+	return data, nil
+}
+
+// Render formats Figure 7.
+func (d *Fig7Data) Render() string {
+	var sb strings.Builder
+	sb.WriteString(textplot.Heading(
+		"Figure 7: dynamic CPA configurations relative to C-L (geomean)"))
+	headers := []string{"Cores", "Config", "Throughput", "HarmonicMean", "WeightedSpeedup"}
+	var rows [][]string
+	for i, cores := range d.Cores {
+		for ci, acr := range d.Configs {
+			r := d.Rel[i][ci]
+			rows = append(rows, []string{
+				fmt.Sprint(cores), acr,
+				fmt.Sprintf("%.4f", r.Throughput),
+				fmt.Sprintf("%.4f", r.HarmonicMean),
+				fmt.Sprintf("%.4f", r.WeightedSpeedup),
+			})
+		}
+	}
+	sb.WriteString(textplot.Table(headers, rows))
+	sb.WriteString("\nRelative throughput (zoomed 0.86..1.02, as in the paper):\n")
+	for i, cores := range d.Cores {
+		labels := make([]string, len(d.Configs))
+		vals := make([]float64, len(d.Configs))
+		for ci, acr := range d.Configs {
+			labels[ci] = fmt.Sprintf("%d cores %-8s", cores, acr)
+			vals[ci] = d.Rel[i][ci].Throughput
+		}
+		sb.WriteString(textplot.Bars(labels, vals, 0.86, 1.02, 40))
+	}
+	return sb.String()
+}
+
+// CSV emits rows: cores,config,throughput,hmean,wspeedup.
+func (d *Fig7Data) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("cores,config,rel_throughput,rel_hmean,rel_wspeedup\n")
+	for i, cores := range d.Cores {
+		for ci, acr := range d.Configs {
+			r := d.Rel[i][ci]
+			fmt.Fprintf(&sb, "%d,%s,%.6f,%.6f,%.6f\n",
+				cores, acr, r.Throughput, r.HarmonicMean, r.WeightedSpeedup)
+		}
+	}
+	return sb.String()
+}

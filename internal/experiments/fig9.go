@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// Fig9Data holds Figure 9: relative power and energy of the six CPA
+// configurations versus C-L (panel a) and the per-component power
+// breakdown for the 2-core configurations (panel b).
+type Fig9Data struct {
+	Cores   []int
+	Configs []string
+	// RelPower[coreIdx][configIdx], RelEnergy likewise (geomean over
+	// workloads of per-workload ratios to C-L).
+	RelPower  [][]float64
+	RelEnergy [][]float64
+	// Breakdown2[configIdx] is the mean component breakdown over the
+	// 2-core workloads (Figure 9(b)).
+	Breakdown2 []power.Breakdown
+}
+
+// Fig9 runs the Figure 9 experiment, reusing any runs Figure 7 already
+// cached in the harness.
+func (h *Harness) Fig9() (*Fig9Data, error) {
+	params := power.DefaultParams()
+	data := &Fig9Data{Cores: []int{2, 4, 8}, Configs: Fig7Configs}
+	for _, cores := range data.Cores {
+		ws, err := workload.ByThreads(cores)
+		if err != nil {
+			return nil, err
+		}
+		ws = h.limitWorkloads(ws)
+
+		relP := make([][]float64, len(data.Configs)) // per config: per-workload ratios
+		relE := make([][]float64, len(data.Configs))
+		var breakdowns [][]power.Breakdown
+		if cores == 2 {
+			breakdowns = make([][]power.Breakdown, len(data.Configs))
+		}
+		for _, w := range ws {
+			var baseP, baseE float64
+			for ci, acr := range data.Configs {
+				kind, err := policyOf(acr)
+				if err != nil {
+					return nil, err
+				}
+				res, err := h.Run(w, kind, acr, h.opt.L2SizeKB)
+				if err != nil {
+					return nil, err
+				}
+				in := h.PowerInputs(w, res, kind, true, h.opt.L2SizeKB)
+				bd := power.Compute(params, in)
+				p := bd.Total()
+				e := power.EnergyPerInst(params, in)
+				if ci == 0 {
+					baseP, baseE = p, e
+				}
+				relP[ci] = append(relP[ci], p/baseP)
+				relE[ci] = append(relE[ci], e/baseE)
+				if cores == 2 {
+					breakdowns[ci] = append(breakdowns[ci], bd)
+				}
+			}
+		}
+		rowP := make([]float64, len(data.Configs))
+		rowE := make([]float64, len(data.Configs))
+		for ci := range data.Configs {
+			rowP[ci] = stats.GeoMean(relP[ci])
+			rowE[ci] = stats.GeoMean(relE[ci])
+		}
+		data.RelPower = append(data.RelPower, rowP)
+		data.RelEnergy = append(data.RelEnergy, rowE)
+		if cores == 2 {
+			data.Breakdown2 = make([]power.Breakdown, len(data.Configs))
+			for ci := range data.Configs {
+				data.Breakdown2[ci] = power.MeanBreakdown(breakdowns[ci])
+			}
+		}
+	}
+	return data, nil
+}
+
+// ProfilingFraction returns the largest profiling-power share across the
+// 2-core configurations — the paper claims it stays below 0.3%.
+func (d *Fig9Data) ProfilingFraction() float64 {
+	worst := 0.0
+	for _, b := range d.Breakdown2 {
+		if t := b.Total(); t > 0 {
+			if f := b.ProfilingW / t; f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
+}
+
+// Render formats Figure 9.
+func (d *Fig9Data) Render() string {
+	var sb strings.Builder
+	sb.WriteString(textplot.Heading(
+		"Figure 9(a): relative power and energy vs C-L (geomean)"))
+	headers := []string{"Cores", "Config", "RelPower", "RelEnergy"}
+	var rows [][]string
+	for i, cores := range d.Cores {
+		for ci, acr := range d.Configs {
+			rows = append(rows, []string{
+				fmt.Sprint(cores), acr,
+				fmt.Sprintf("%.4f", d.RelPower[i][ci]),
+				fmt.Sprintf("%.4f", d.RelEnergy[i][ci]),
+			})
+		}
+	}
+	sb.WriteString(textplot.Table(headers, rows))
+
+	sb.WriteString(textplot.Heading("Figure 9(b): 2-core component power breakdown"))
+	headers = []string{"Config", "Cores(W)", "L2(W)", "Memory(W)", "Profiling(W)", "Profiling(%)"}
+	rows = rows[:0]
+	for ci, acr := range d.Configs {
+		b := d.Breakdown2[ci]
+		frac := 0.0
+		if t := b.Total(); t > 0 {
+			frac = b.ProfilingW / t * 100
+		}
+		rows = append(rows, []string{
+			acr,
+			fmt.Sprintf("%.2f", b.CoresW),
+			fmt.Sprintf("%.2f", b.L2W),
+			fmt.Sprintf("%.3f", b.MemoryW),
+			fmt.Sprintf("%.4f", b.ProfilingW),
+			fmt.Sprintf("%.3f%%", frac),
+		})
+	}
+	sb.WriteString(textplot.Table(headers, rows))
+	fmt.Fprintf(&sb, "\nWorst profiling-power share: %.4f%% (paper: < 0.3%%)\n",
+		d.ProfilingFraction()*100)
+	return sb.String()
+}
+
+// CSV emits rows for both panels.
+func (d *Fig9Data) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("panel,cores,config,metric,value\n")
+	for i, cores := range d.Cores {
+		for ci, acr := range d.Configs {
+			fmt.Fprintf(&sb, "a,%d,%s,rel_power,%.6f\n", cores, acr, d.RelPower[i][ci])
+			fmt.Fprintf(&sb, "a,%d,%s,rel_energy,%.6f\n", cores, acr, d.RelEnergy[i][ci])
+		}
+	}
+	for ci, acr := range d.Configs {
+		b := d.Breakdown2[ci]
+		fmt.Fprintf(&sb, "b,2,%s,cores_w,%.6f\n", acr, b.CoresW)
+		fmt.Fprintf(&sb, "b,2,%s,l2_w,%.6f\n", acr, b.L2W)
+		fmt.Fprintf(&sb, "b,2,%s,memory_w,%.6f\n", acr, b.MemoryW)
+		fmt.Fprintf(&sb, "b,2,%s,profiling_w,%.6f\n", acr, b.ProfilingW)
+	}
+	return sb.String()
+}

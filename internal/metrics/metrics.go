@@ -1,0 +1,78 @@
+// Package metrics computes the paper's three performance metrics
+// (§IV): IPC throughput (Σ IPCi), weighted speedup (Σ IPCi/IPCisolation),
+// and the harmonic mean of relative IPCs (N / Σ IPCisolation/IPCi).
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Thread couples one thread's CMP IPC with its isolation IPC (measured
+// alone on the full cache).
+type Thread struct {
+	Benchmark    string
+	IPC          float64
+	IsolationIPC float64
+}
+
+// Summary holds the three workload-level metrics.
+type Summary struct {
+	Throughput      float64 // Σ IPCi
+	WeightedSpeedup float64 // Σ IPCi / IPCiso_i
+	HarmonicMean    float64 // N / Σ (IPCiso_i / IPCi)
+}
+
+// Compute derives the summary from per-thread measurements. It returns an
+// error if any IPC is non-positive — that always indicates a broken run.
+func Compute(threads []Thread) (Summary, error) {
+	if len(threads) == 0 {
+		return Summary{}, fmt.Errorf("metrics: no threads")
+	}
+	var s Summary
+	var invSum float64
+	for _, t := range threads {
+		if t.IPC <= 0 || t.IsolationIPC <= 0 {
+			return Summary{}, fmt.Errorf("metrics: %s has non-positive IPC (%v cmp, %v isolation)",
+				t.Benchmark, t.IPC, t.IsolationIPC)
+		}
+		s.Throughput += t.IPC
+		s.WeightedSpeedup += t.IPC / t.IsolationIPC
+		invSum += t.IsolationIPC / t.IPC
+	}
+	s.HarmonicMean = float64(len(threads)) / invSum
+	return s, nil
+}
+
+// Relative expresses a summary as ratios to a baseline summary.
+func (s Summary) Relative(base Summary) Summary {
+	return Summary{
+		Throughput:      ratio(s.Throughput, base.Throughput),
+		WeightedSpeedup: ratio(s.WeightedSpeedup, base.WeightedSpeedup),
+		HarmonicMean:    ratio(s.HarmonicMean, base.HarmonicMean),
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Aggregate averages per-workload relative summaries with the geometric
+// mean (the conventional aggregator for ratio metrics).
+func Aggregate(rel []Summary) Summary {
+	tp := make([]float64, len(rel))
+	ws := make([]float64, len(rel))
+	hm := make([]float64, len(rel))
+	for i, r := range rel {
+		tp[i], ws[i], hm[i] = r.Throughput, r.WeightedSpeedup, r.HarmonicMean
+	}
+	return Summary{
+		Throughput:      stats.GeoMean(tp),
+		WeightedSpeedup: stats.GeoMean(ws),
+		HarmonicMean:    stats.GeoMean(hm),
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestComputeKnownValues(t *testing.T) {
+	threads := []Thread{
+		{Benchmark: "a", IPC: 1.0, IsolationIPC: 2.0}, // relative 0.5
+		{Benchmark: "b", IPC: 1.5, IsolationIPC: 1.5}, // relative 1.0
+	}
+	s, err := Compute(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Throughput, 2.5) {
+		t.Errorf("throughput = %v, want 2.5", s.Throughput)
+	}
+	if !almost(s.WeightedSpeedup, 1.5) {
+		t.Errorf("weighted speedup = %v, want 1.5", s.WeightedSpeedup)
+	}
+	// HM of relative IPCs {0.5, 1.0} = 2 / (2 + 1) = 0.666...
+	if !almost(s.HarmonicMean, 2.0/3.0) {
+		t.Errorf("harmonic mean = %v, want 2/3", s.HarmonicMean)
+	}
+}
+
+func TestComputeRejectsBadInputs(t *testing.T) {
+	if _, err := Compute(nil); err == nil {
+		t.Error("empty thread list accepted")
+	}
+	if _, err := Compute([]Thread{{IPC: 0, IsolationIPC: 1}}); err == nil {
+		t.Error("zero IPC accepted")
+	}
+	if _, err := Compute([]Thread{{IPC: 1, IsolationIPC: 0}}); err == nil {
+		t.Error("zero isolation IPC accepted")
+	}
+}
+
+func TestEqualIPCsGiveUnitMetrics(t *testing.T) {
+	threads := []Thread{
+		{Benchmark: "a", IPC: 1.2, IsolationIPC: 1.2},
+		{Benchmark: "b", IPC: 0.7, IsolationIPC: 0.7},
+		{Benchmark: "c", IPC: 2.0, IsolationIPC: 2.0},
+	}
+	s, err := Compute(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.WeightedSpeedup, 3) {
+		t.Errorf("weighted speedup = %v, want N=3", s.WeightedSpeedup)
+	}
+	if !almost(s.HarmonicMean, 1) {
+		t.Errorf("harmonic mean = %v, want 1", s.HarmonicMean)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	a := Summary{Throughput: 2, WeightedSpeedup: 1.5, HarmonicMean: 0.8}
+	b := Summary{Throughput: 4, WeightedSpeedup: 3.0, HarmonicMean: 0.4}
+	r := a.Relative(b)
+	if !almost(r.Throughput, 0.5) || !almost(r.WeightedSpeedup, 0.5) || !almost(r.HarmonicMean, 2) {
+		t.Errorf("relative = %+v", r)
+	}
+	z := a.Relative(Summary{})
+	if z.Throughput != 0 {
+		t.Error("division by zero not guarded")
+	}
+}
+
+func TestAggregateGeometricMean(t *testing.T) {
+	rel := []Summary{
+		{Throughput: 1, WeightedSpeedup: 4, HarmonicMean: 1},
+		{Throughput: 4, WeightedSpeedup: 1, HarmonicMean: 1},
+	}
+	agg := Aggregate(rel)
+	if !almost(agg.Throughput, 2) || !almost(agg.WeightedSpeedup, 2) || !almost(agg.HarmonicMean, 1) {
+		t.Errorf("aggregate = %+v", agg)
+	}
+}
+
+func TestHarmonicMeanPenalizesImbalance(t *testing.T) {
+	balanced := []Thread{
+		{Benchmark: "a", IPC: 1, IsolationIPC: 2},
+		{Benchmark: "b", IPC: 1, IsolationIPC: 2},
+	}
+	imbalanced := []Thread{
+		{Benchmark: "a", IPC: 1.8, IsolationIPC: 2},
+		{Benchmark: "b", IPC: 0.2, IsolationIPC: 2},
+	}
+	sb, _ := Compute(balanced)
+	si, _ := Compute(imbalanced)
+	if si.HarmonicMean >= sb.HarmonicMean {
+		t.Fatalf("harmonic mean should punish imbalance: %v vs %v",
+			si.HarmonicMean, sb.HarmonicMean)
+	}
+	// Throughput, by contrast, is the same.
+	if !almost(si.Throughput, sb.Throughput) {
+		t.Fatal("throughput should not distinguish the two")
+	}
+}

@@ -1,0 +1,144 @@
+// Package power implements the evaluation's power and energy model
+// (paper §IV, §V-C): per-component static and dynamic power for the cores,
+// the shared L2, main memory and the CPA's profiling logic, with a memory
+// access costing 150× an L2 access (the paper's constant from Borkar).
+// The paper reports relative power and relative energy (CPI × Power); this
+// package produces absolute watts/joules from an event-energy model, and
+// the experiment harness reports them relative to the C-L baseline —
+// the structural conclusions (power tracks off-chip accesses; profiling is
+// negligible) depend only on the ratios.
+package power
+
+import "repro/internal/stats"
+
+// Params holds the model constants.
+type Params struct {
+	ClockGHz        float64 // core/L2 clock
+	CoreStaticW     float64 // leakage per core
+	CoreDynPerIPCW  float64 // dynamic watts per core per unit IPC
+	L2StaticWPerMB  float64 // L2 leakage per MB
+	L2AccessNJ      float64 // energy per L2 access
+	MemAccessFactor float64 // memory access energy = factor × L2AccessNJ (paper: 150)
+	ATDAccessNJ     float64 // energy per sampled ATD access
+	LeakWPerKB      float64 // leakage per KB of extra replacement/profiling state
+}
+
+// DefaultParams returns the model constants used in EXPERIMENTS.md.
+func DefaultParams() Params {
+	return Params{
+		ClockGHz:        2.0,
+		CoreStaticW:     2.0,
+		CoreDynPerIPCW:  4.0,
+		L2StaticWPerMB:  0.5,
+		L2AccessNJ:      1.0,
+		MemAccessFactor: 150,
+		ATDAccessNJ:     0.05,
+		LeakWPerKB:      0.002,
+	}
+}
+
+// Inputs summarizes one simulation run for the power model.
+type Inputs struct {
+	Cores       int
+	SumIPC      float64 // throughput (drives core dynamic power)
+	Cycles      float64 // run length in cycles
+	Insts       uint64  // total committed instructions (for energy/inst)
+	L2SizeMB    float64
+	L2Accesses  uint64
+	L2Misses    uint64 // demand fetches from memory
+	MemWrites   uint64 // dirty-line writebacks reaching memory
+	ATDObserves uint64
+	// Extra storage (KB) powered on beyond a plain cache: replacement
+	// metadata growth and profiling structures (from internal/complexity
+	// and the ATD sizing).
+	ExtraStateKB float64
+}
+
+// Breakdown is per-component average power in watts over the run.
+type Breakdown struct {
+	CoresW     float64
+	L2W        float64
+	MemoryW    float64
+	ProfilingW float64
+}
+
+// Total returns the summed power.
+func (b Breakdown) Total() float64 {
+	return b.CoresW + b.L2W + b.MemoryW + b.ProfilingW
+}
+
+// Fractions returns each component as a fraction of the total.
+func (b Breakdown) Fractions() (cores, l2, mem, prof float64) {
+	t := b.Total()
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	return b.CoresW / t, b.L2W / t, b.MemoryW / t, b.ProfilingW / t
+}
+
+// Compute evaluates the model.
+func Compute(p Params, in Inputs) Breakdown {
+	seconds := in.Cycles / (p.ClockGHz * 1e9)
+	if seconds <= 0 {
+		return Breakdown{}
+	}
+	nj := 1e-9
+	var b Breakdown
+	b.CoresW = float64(in.Cores)*p.CoreStaticW + p.CoreDynPerIPCW*in.SumIPC
+	b.L2W = p.L2StaticWPerMB*in.L2SizeMB +
+		float64(in.L2Accesses)*p.L2AccessNJ*nj/seconds
+	b.MemoryW = float64(in.L2Misses+in.MemWrites) * p.L2AccessNJ * p.MemAccessFactor * nj / seconds
+	b.ProfilingW = float64(in.ATDObserves)*p.ATDAccessNJ*nj/seconds +
+		p.LeakWPerKB*in.ExtraStateKB
+	return b
+}
+
+// Energy returns the run's energy in joules (power × time). For a fixed
+// instruction count this is proportional to the paper's CPI × Power
+// metric.
+func Energy(p Params, in Inputs) float64 {
+	seconds := in.Cycles / (p.ClockGHz * 1e9)
+	return Compute(p, in).Total() * seconds
+}
+
+// EnergyPerInst returns nanojoules per committed instruction.
+func EnergyPerInst(p Params, in Inputs) float64 {
+	if in.Insts == 0 {
+		return 0
+	}
+	return Energy(p, in) / float64(in.Insts) * 1e9
+}
+
+// RelativeSeries converts absolute totals to ratios against the first
+// entry, the form the paper plots in Figure 9(a).
+func RelativeSeries(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	if len(vals) == 0 || vals[0] == 0 {
+		return out
+	}
+	for i, v := range vals {
+		out[i] = v / vals[0]
+	}
+	return out
+}
+
+// MeanBreakdown averages component breakdowns (used to aggregate over
+// workloads for Figure 9(b)).
+func MeanBreakdown(bs []Breakdown) Breakdown {
+	if len(bs) == 0 {
+		return Breakdown{}
+	}
+	cores := make([]float64, len(bs))
+	l2 := make([]float64, len(bs))
+	mem := make([]float64, len(bs))
+	prof := make([]float64, len(bs))
+	for i, b := range bs {
+		cores[i], l2[i], mem[i], prof[i] = b.CoresW, b.L2W, b.MemoryW, b.ProfilingW
+	}
+	return Breakdown{
+		CoresW:     stats.Mean(cores),
+		L2W:        stats.Mean(l2),
+		MemoryW:    stats.Mean(mem),
+		ProfilingW: stats.Mean(prof),
+	}
+}

@@ -1,0 +1,147 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func baseInputs() Inputs {
+	return Inputs{
+		Cores:        2,
+		SumIPC:       2.0,
+		Cycles:       1e9, // 0.5 s at 2 GHz
+		Insts:        2e9,
+		L2SizeMB:     2,
+		L2Accesses:   50_000_000,
+		L2Misses:     2_000_000,
+		ATDObserves:  50_000_000 / 32,
+		ExtraStateKB: 8.5,
+	}
+}
+
+func TestComputeComponents(t *testing.T) {
+	p := DefaultParams()
+	in := baseInputs()
+	b := Compute(p, in)
+	seconds := 0.5
+	// Cores: 2*2W static + 4W/IPC * 2 IPC = 12W.
+	if math.Abs(b.CoresW-12) > 1e-9 {
+		t.Errorf("cores = %v W, want 12", b.CoresW)
+	}
+	// L2: 1W static + 50e6 * 1nJ / 0.5s = 1 + 0.1 W.
+	if math.Abs(b.L2W-1.1) > 1e-9 {
+		t.Errorf("L2 = %v W, want 1.1", b.L2W)
+	}
+	// Memory: 2e6 * 150 nJ / 0.5 s = 0.6 W.
+	wantMem := float64(in.L2Misses) * 150e-9 / seconds
+	if math.Abs(b.MemoryW-wantMem) > 1e-9 {
+		t.Errorf("memory = %v W, want %v", b.MemoryW, wantMem)
+	}
+	if b.Total() <= 0 {
+		t.Error("total power non-positive")
+	}
+}
+
+func TestMemoryAccessIs150xL2(t *testing.T) {
+	p := DefaultParams()
+	in := baseInputs()
+	in.L2Accesses = 1_000_000
+	in.L2Misses = 1_000_000
+	b := Compute(p, in)
+	l2Dyn := b.L2W - p.L2StaticWPerMB*in.L2SizeMB
+	if math.Abs(b.MemoryW/l2Dyn-150) > 1e-6 {
+		t.Fatalf("memory/L2 energy ratio = %v, want 150", b.MemoryW/l2Dyn)
+	}
+}
+
+func TestProfilingPowerNegligible(t *testing.T) {
+	// The paper's §V-C claim: profiling stays below 0.3% of total power.
+	// With 1/32 sampling and the default constants this must hold for any
+	// plausible access volume.
+	p := DefaultParams()
+	in := baseInputs()
+	b := Compute(p, in)
+	if frac := b.ProfilingW / b.Total(); frac > 0.003 {
+		t.Fatalf("profiling fraction = %.5f, want < 0.003", frac)
+	}
+}
+
+func TestMoreMissesMorePower(t *testing.T) {
+	p := DefaultParams()
+	lo := baseInputs()
+	hi := baseInputs()
+	hi.L2Misses *= 10
+	if Compute(p, hi).Total() <= Compute(p, lo).Total() {
+		t.Fatal("10x misses did not increase power")
+	}
+}
+
+func TestEnergyTracksCyclesAndPower(t *testing.T) {
+	p := DefaultParams()
+	in := baseInputs()
+	e1 := Energy(p, in)
+	// Same events in twice the time: static power dominates longer run.
+	slow := in
+	slow.Cycles *= 2
+	e2 := Energy(p, slow)
+	if e2 <= e1 {
+		t.Fatalf("slower run should consume more energy: %v vs %v", e1, e2)
+	}
+}
+
+func TestEnergyPerInst(t *testing.T) {
+	p := DefaultParams()
+	in := baseInputs()
+	epi := EnergyPerInst(p, in)
+	if epi <= 0 {
+		t.Fatal("energy per instruction non-positive")
+	}
+	none := in
+	none.Insts = 0
+	if EnergyPerInst(p, none) != 0 {
+		t.Fatal("zero-inst energy per inst should be 0")
+	}
+}
+
+func TestZeroCyclesSafe(t *testing.T) {
+	in := baseInputs()
+	in.Cycles = 0
+	if b := Compute(DefaultParams(), in); b.Total() != 0 {
+		t.Fatal("zero-cycle run should produce zero power")
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	b := Compute(DefaultParams(), baseInputs())
+	c, l, m, pr := b.Fractions()
+	if math.Abs(c+l+m+pr-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", c+l+m+pr)
+	}
+}
+
+func TestRelativeSeries(t *testing.T) {
+	rel := RelativeSeries([]float64{2, 3, 1})
+	if rel[0] != 1 || rel[1] != 1.5 || rel[2] != 0.5 {
+		t.Fatalf("relative = %v", rel)
+	}
+	if out := RelativeSeries(nil); len(out) != 0 {
+		t.Fatal("nil input should give empty output")
+	}
+	zero := RelativeSeries([]float64{0, 5})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("zero baseline should zero the series")
+	}
+}
+
+func TestMeanBreakdown(t *testing.T) {
+	m := MeanBreakdown([]Breakdown{
+		{CoresW: 2, L2W: 1, MemoryW: 4, ProfilingW: 0.1},
+		{CoresW: 4, L2W: 3, MemoryW: 0, ProfilingW: 0.3},
+	})
+	if m.CoresW != 3 || m.L2W != 2 || m.MemoryW != 2 || math.Abs(m.ProfilingW-0.2) > 1e-12 {
+		t.Fatalf("mean breakdown = %+v", m)
+	}
+	if MeanBreakdown(nil).Total() != 0 {
+		t.Fatal("empty mean should be zero")
+	}
+}

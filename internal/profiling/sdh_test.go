@@ -1,0 +1,111 @@
+package profiling
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSDHPaperFigure2(t *testing.T) {
+	// Figure 2(b)/(c): a 4-way SDH with r1=1 after the second access to D.
+	// With 2 ways owned the thread suffers r3+r4+r5 misses.
+	s := NewSDH(4)
+	s.RecordHit(1) // the D re-access at distance 1
+	s.RecordHit(3)
+	s.RecordHit(4)
+	s.RecordMiss()
+	if s.Register(1) != 1 {
+		t.Fatalf("r1 = %d, want 1", s.Register(1))
+	}
+	// misses(2) = r3 + r4 + r5 = 1 + 1 + 1.
+	if got := s.Misses(2); got != 3 {
+		t.Fatalf("Misses(2) = %d, want 3", got)
+	}
+	// misses(4) = r5 only.
+	if got := s.Misses(4); got != 1 {
+		t.Fatalf("Misses(4) = %d, want 1", got)
+	}
+	// misses(0) = everything.
+	if got := s.Misses(0); got != 4 {
+		t.Fatalf("Misses(0) = %d, want 4", got)
+	}
+}
+
+func TestSDHClamping(t *testing.T) {
+	s := NewSDH(4)
+	s.RecordHit(0)  // clamps to 1
+	s.RecordHit(-3) // clamps to 1
+	s.RecordHit(9)  // clamps to 4
+	if s.Register(1) != 2 || s.Register(4) != 1 {
+		t.Fatalf("registers: r1=%d r4=%d", s.Register(1), s.Register(4))
+	}
+}
+
+func TestSDHMissCurveMonotone(t *testing.T) {
+	// Property: the miss curve is non-increasing in assigned ways, for
+	// any recorded mixture.
+	f := func(hits []uint8, misses uint8) bool {
+		s := NewSDH(8)
+		for _, h := range hits {
+			s.RecordHit(int(h)%8 + 1)
+		}
+		for i := 0; i < int(misses); i++ {
+			s.RecordMiss()
+		}
+		curve := s.MissCurve()
+		for w := 1; w < len(curve); w++ {
+			if curve[w] > curve[w-1] {
+				return false
+			}
+		}
+		return curve[0] == uint64(len(hits))+uint64(misses)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSDHHalve(t *testing.T) {
+	s := NewSDH(2)
+	for i := 0; i < 5; i++ {
+		s.RecordHit(1)
+	}
+	s.RecordMiss()
+	s.Halve()
+	if s.Register(1) != 2 || s.Register(3) != 0 {
+		t.Fatalf("after halve: r1=%d r3=%d", s.Register(1), s.Register(3))
+	}
+}
+
+func TestSDHCloneIndependent(t *testing.T) {
+	s := NewSDH(2)
+	s.RecordHit(1)
+	c := s.Clone()
+	c.RecordMiss()
+	if s.Misses(2) != 0 {
+		t.Fatal("clone mutation leaked")
+	}
+	if c.Misses(2) != 1 {
+		t.Fatal("clone content wrong")
+	}
+}
+
+func TestSDHResetAndTotal(t *testing.T) {
+	s := NewSDH(4)
+	s.RecordHit(2)
+	s.RecordMiss()
+	if s.Total() != 2 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	s.Reset()
+	if s.Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSDHMissesClampsArgs(t *testing.T) {
+	s := NewSDH(4)
+	s.RecordMiss()
+	if s.Misses(-1) != 1 || s.Misses(100) != 1 {
+		t.Fatal("Misses should clamp its argument")
+	}
+}

@@ -1,0 +1,68 @@
+package replacement
+
+import "testing"
+
+// Per-policy microbenchmarks for the hot operations: Touch (every access)
+// and Victim (every replacement). These correspond to the activity counts
+// of the paper's Table I(b).
+
+func benchTouch(b *testing.B, p Policy) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Touch(i&1023, i&15, 0)
+	}
+}
+
+func benchVictim(b *testing.B, p Policy) {
+	b.Helper()
+	full := Full(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := p.Victim(i&1023, 0, full)
+		p.Touch(i&1023, w, 0)
+	}
+}
+
+func BenchmarkTouchLRU(b *testing.B)   { benchTouch(b, NewLRUPolicy(1024, 16)) }
+func BenchmarkTouchNRU(b *testing.B)   { benchTouch(b, NewNRUPolicy(1024, 16, 2)) }
+func BenchmarkTouchBT(b *testing.B)    { benchTouch(b, NewBTPolicy(1024, 16)) }
+func BenchmarkVictimLRU(b *testing.B)  { benchVictim(b, NewLRUPolicy(1024, 16)) }
+func BenchmarkVictimNRU(b *testing.B)  { benchVictim(b, NewNRUPolicy(1024, 16, 2)) }
+func BenchmarkVictimBT(b *testing.B)   { benchVictim(b, NewBTPolicy(1024, 16)) }
+func BenchmarkVictimRand(b *testing.B) { benchVictim(b, NewRandomPolicy(1024, 16, 1)) }
+
+// BenchmarkVictimMasked measures masked victim selection (the global
+// replacement masks enforcement path).
+func BenchmarkVictimMasked(b *testing.B) {
+	p := NewLRUPolicy(1024, 16)
+	mask := Full(16) &^ Full(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := p.Victim(i&1023, 0, mask)
+		p.Touch(i&1023, w, 0)
+	}
+}
+
+// BenchmarkVictimForcedBT measures the up/down force-vector walk.
+func BenchmarkVictimForcedBT(b *testing.B) {
+	p := NewBTPolicy(1024, 16)
+	up := []bool{true, false, false, false}
+	down := make([]bool, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := p.VictimForced(i&1023, up, down)
+		p.Touch(i&1023, w, 0)
+	}
+}
+
+// BenchmarkEstStackPosBT measures the profiling estimator arithmetic.
+func BenchmarkEstStackPosBT(b *testing.B) {
+	p := NewBTPolicy(1024, 16)
+	var sink int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += p.EstStackPos(i&1023, i&15)
+	}
+	_ = sink
+}

@@ -1,0 +1,190 @@
+package replacement
+
+import "math/bits"
+
+// BTPolicy implements Binary Tree pseudo-LRU (paper §III-B, the IBM
+// scheme): each set carries ways-1 tree bits arranged as a complete binary
+// tree over the ways. Each node bit records which subtree holds the
+// pseudo-LRU candidate; an access flips the bits on its path to point away
+// from the accessed line, and victim selection walks the bits from the
+// root.
+//
+// Bit convention: bit == 0 means the pseudo-LRU line is in the LEFT (lower
+// way indices) subtree, bit == 1 the RIGHT subtree. The paper's figures use
+// the mirrored encoding ("upper"/"lower" sub-tree); the two are isomorphic
+// and the ID-XOR-SUB profiling identity holds identically.
+//
+// Partitioning: the paper extends BT with per-core up/down force vectors,
+// one bit pair per tree level, that override the stored bit during victim
+// search (VictimForced, with the Figure 5 truth table). Victim with an
+// arbitrary WayMask is also provided; for the aligned power-of-two masks
+// produced by the buddy partitioner the two mechanisms select identical
+// victims (a property covered by tests).
+type BTPolicy struct {
+	sets, ways, levels int
+	tree               []uint8 // sets*(ways-1), heap-indexed per set (slot 0 unused within each set's block of `ways` entries)
+}
+
+// NewBTPolicy returns a BT policy. The associativity must be a power of
+// two (the tree is complete), as in every hardware BT implementation.
+func NewBTPolicy(sets, ways int) *BTPolicy {
+	validateGeometry(sets, ways)
+	if ways&(ways-1) != 0 {
+		panic("replacement: BT requires power-of-two associativity")
+	}
+	return &BTPolicy{
+		sets:   sets,
+		ways:   ways,
+		levels: bits.Len(uint(ways)) - 1,
+		// Allocate `ways` slots per set so heap indices 1..ways-1 map
+		// directly; slot 0 of each block is unused.
+		tree: make([]uint8, sets*ways),
+	}
+}
+
+// Kind returns BT.
+func (p *BTPolicy) Kind() Kind { return BT }
+
+// Ways returns the associativity.
+func (p *BTPolicy) Ways() int { return p.ways }
+
+// Sets returns the number of sets.
+func (p *BTPolicy) Sets() int { return p.sets }
+
+// Levels returns log2(ways), the number of tree levels (and the length of
+// the up/down force vectors).
+func (p *BTPolicy) Levels() int { return p.levels }
+
+// SetPartition is a no-op: BT partition enforcement is expressed through
+// VictimForced / the Victim mask, and hits update the tree identically
+// with or without partitioning.
+func (p *BTPolicy) SetPartition(masks []WayMask) {}
+
+// node returns the tree bit at heap index i of set.
+func (p *BTPolicy) node(set, i int) uint8 { return p.tree[set*p.ways+i] }
+
+func (p *BTPolicy) setNode(set, i int, v uint8) { p.tree[set*p.ways+i] = v }
+
+// dirOf returns the branch direction (0 = left, 1 = right) taken at depth
+// `depth` on the path from the root to `way`.
+func (p *BTPolicy) dirOf(way, depth int) int {
+	return (way >> uint(p.levels-1-depth)) & 1
+}
+
+// Touch promotes (set, way): every tree bit on the path from the root to
+// the way is set to point away from it, making the way maximally recent.
+// Only log2(ways) bits change — the paper's Table I(b) "update position"
+// cost for BT.
+func (p *BTPolicy) Touch(set, way, core int) {
+	i := 1
+	for d := 0; d < p.levels; d++ {
+		dir := p.dirOf(way, d)
+		p.setNode(set, i, uint8(1-dir)) // point pseudo-LRU to the other side
+		i = 2*i + dir
+	}
+}
+
+// Victim walks the tree bits from the root, restricted to the allowed
+// mask: at each node it follows the stored bit when both subtrees contain
+// allowed ways and otherwise the only viable side.
+func (p *BTPolicy) Victim(set, core int, allowed WayMask) int {
+	checkVictimArgs(p, set, allowed)
+	lo, hi := 0, p.ways
+	i := 1
+	for d := 0; d < p.levels; d++ {
+		mid := (lo + hi) / 2
+		leftOK := allowed&rangeMask(lo, mid) != 0
+		rightOK := allowed&rangeMask(mid, hi) != 0
+		var dir int
+		switch {
+		case leftOK && rightOK:
+			dir = int(p.node(set, i))
+		case leftOK:
+			dir = 0
+		default:
+			dir = 1
+		}
+		if dir == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		i = 2*i + dir
+	}
+	return lo
+}
+
+// VictimForced walks the tree with the paper's per-level force vectors
+// (Figure 5 truth table): at depth d, up[d] forces the left ("upper")
+// subtree, down[d] forces the right ("lower") subtree, and otherwise the
+// stored bit decides. up[d] and down[d] must not both be set.
+func (p *BTPolicy) VictimForced(set int, up, down []bool) int {
+	if len(up) != p.levels || len(down) != p.levels {
+		panic("replacement: force vectors must have log2(ways) entries")
+	}
+	i := 1
+	way := 0
+	for d := 0; d < p.levels; d++ {
+		if up[d] && down[d] {
+			panic("replacement: up and down both forced at level " + itoa(d))
+		}
+		var dir int
+		switch {
+		case up[d]:
+			dir = 0
+		case down[d]:
+			dir = 1
+		default:
+			dir = int(p.node(set, i))
+		}
+		way = way<<1 | dir
+		i = 2*i + dir
+	}
+	return way
+}
+
+// PathBits returns the current tree bits along the path from the root to
+// `way`, packed MSB-first (root bit highest). The BT profiling logic XORs
+// these against the way's ID bits.
+func (p *BTPolicy) PathBits(set, way int) int {
+	v := 0
+	i := 1
+	for d := 0; d < p.levels; d++ {
+		v = v<<1 | int(p.node(set, i))
+		i = 2*i + p.dirOf(way, d)
+	}
+	return v
+}
+
+// IDBits returns the identifier bits of `way`: the tree-path bit values
+// that would make the way the pseudo-LRU victim. With our bit convention
+// these are simply the way's binary digits MSB-first, which is the paper's
+// "simple decoder" (Figure 4(c)) — a wiring permutation, no storage.
+func (p *BTPolicy) IDBits(way int) int { return way }
+
+// EstStackPos implements the paper's BT stack-position estimator
+// (Figure 4(b)): ways − (IDBits XOR PathBits). The result is in [1, ways]:
+// ways when the line is exactly the pseudo-LRU victim and 1 when every
+// path bit points away from it (just accessed).
+func (p *BTPolicy) EstStackPos(set, way int) int {
+	return p.ways - (p.IDBits(way) ^ p.PathBits(set, way))
+}
+
+// rangeMask returns the mask of ways in [lo, hi).
+func rangeMask(lo, hi int) WayMask {
+	return Full(hi) &^ Full(lo)
+}
+
+func itoa(d int) string {
+	if d == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for d > 0 {
+		i--
+		buf[i] = byte('0' + d%10)
+		d /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,182 @@
+package replacement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestLRUInitialAgesArePermutation(t *testing.T) {
+	p := NewLRUPolicy(4, 8)
+	for s := 0; s < 4; s++ {
+		seen := make([]bool, 8)
+		for w := 0; w < 8; w++ {
+			d := p.Dist(s, w)
+			if d < 1 || d > 8 || seen[d-1] {
+				t.Fatalf("set %d: stack positions are not a permutation", s)
+			}
+			seen[d-1] = true
+		}
+	}
+}
+
+func TestLRUTouchPromotesToMRU(t *testing.T) {
+	p := NewLRUPolicy(1, 4)
+	p.Touch(0, 2, 0)
+	if d := p.Dist(0, 2); d != 1 {
+		t.Fatalf("touched way has stack position %d, want 1", d)
+	}
+}
+
+func TestLRUPaperFigure2Example(t *testing.T) {
+	// Paper Figure 2(a): set holds {A,B,C,D} with A MRU and D LRU; after
+	// accesses to C then D, the next access to D has stack distance 1 and
+	// B sits in the LRU position.
+	p := NewLRUPolicy(1, 4)
+	// Establish A=way0 MRU ... D=way3 LRU by touching in reverse order.
+	for w := 3; w >= 0; w-- {
+		p.Touch(0, w, 0)
+	}
+	if p.Dist(0, 0) != 1 || p.Dist(0, 3) != 4 {
+		t.Fatalf("setup failed: order %v", p.order(0))
+	}
+	p.Touch(0, 2, 0) // access C
+	p.Touch(0, 3, 0) // access D
+	if d := p.Dist(0, 3); d != 1 {
+		t.Errorf("second access to D sees stack distance %d, want 1", d)
+	}
+	if d := p.Dist(0, 1); d != 4 {
+		t.Errorf("B should be at LRU position, has %d", d)
+	}
+}
+
+func TestLRUVictimIsOldest(t *testing.T) {
+	p := NewLRUPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w, 0) // 3 is MRU, 0 is LRU
+	}
+	if v := p.Victim(0, 0, Full(4)); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+}
+
+func TestLRUVictimRespectsMask(t *testing.T) {
+	p := NewLRUPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w, 0) // LRU order: 0,1,2,3 (0 oldest)
+	}
+	mask := WayMask(0).With(2).With(3)
+	if v := p.Victim(0, 0, mask); v != 2 {
+		t.Fatalf("masked victim = %d, want 2 (oldest allowed)", v)
+	}
+}
+
+func TestLRUVictimPanicsOnEmptyMask(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty mask")
+		}
+	}()
+	NewLRUPolicy(1, 4).Victim(0, 0, 0)
+}
+
+func TestLRUStackProperty(t *testing.T) {
+	// The inclusion (stack) property: an access that hits at stack
+	// distance d in a cache of associativity A hits in any cache of
+	// associativity >= d with the same access sequence. We verify by
+	// running the same random sequence against different associativities
+	// mapped onto a single set and checking hit sets are nested.
+	const accesses = 2000
+	const addrSpace = 24
+	rng := xrand.New(101)
+	seq := make([]int, accesses)
+	for i := range seq {
+		seq[i] = rng.Intn(addrSpace)
+	}
+
+	hitsAt := func(ways int) []bool {
+		p := NewLRUPolicy(1, ways)
+		content := make([]int, ways)
+		for i := range content {
+			content[i] = -1 - i // unique invalid tags
+		}
+		hits := make([]bool, accesses)
+		for i, a := range seq {
+			way := -1
+			for w, tag := range content {
+				if tag == a {
+					way = w
+					break
+				}
+			}
+			if way >= 0 {
+				hits[i] = true
+			} else {
+				way = p.Victim(0, 0, Full(ways))
+				content[way] = a
+			}
+			p.Touch(0, way, 0)
+		}
+		return hits
+	}
+
+	h4, h8, h16 := hitsAt(4), hitsAt(8), hitsAt(16)
+	for i := 0; i < accesses; i++ {
+		if h4[i] && !h8[i] {
+			t.Fatalf("access %d: hit in 4-way but miss in 8-way (stack property violated)", i)
+		}
+		if h8[i] && !h16[i] {
+			t.Fatalf("access %d: hit in 8-way but miss in 16-way (stack property violated)", i)
+		}
+	}
+}
+
+func TestLRUAgesStayPermutation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := NewLRUPolicy(2, 8)
+		for _, op := range ops {
+			set := int(op>>7) & 1
+			way := int(op) % 8
+			p.Touch(set, way, 0)
+		}
+		for s := 0; s < 2; s++ {
+			seen := make([]bool, 8)
+			for w := 0; w < 8; w++ {
+				d := p.Dist(s, w)
+				if d < 1 || d > 8 || seen[d-1] {
+					return false
+				}
+				seen[d-1] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUDistMatchesVictimOrder(t *testing.T) {
+	// Property: evicting repeatedly without touching yields ways in
+	// decreasing stack-position order.
+	p := NewLRUPolicy(1, 8)
+	rng := xrand.New(7)
+	for i := 0; i < 100; i++ {
+		p.Touch(0, rng.Intn(8), 0)
+	}
+	mask := Full(8)
+	prev := 9
+	for i := 0; i < 8; i++ {
+		v := p.Victim(0, 0, mask)
+		d := p.Dist(0, v)
+		if d >= prev {
+			t.Fatalf("eviction %d: stack position %d not decreasing (prev %d)", i, d, prev)
+		}
+		prev = d
+		mask = mask.Without(v)
+		if mask == 0 {
+			break
+		}
+	}
+}

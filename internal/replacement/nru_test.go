@@ -1,0 +1,227 @@
+package replacement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNRUTouchSetsUsedBit(t *testing.T) {
+	p := NewNRUPolicy(2, 4, 1)
+	p.Touch(1, 2, 0)
+	if !p.Used(1, 2) {
+		t.Fatal("used bit not set after Touch")
+	}
+	if p.Used(0, 2) {
+		t.Fatal("used bit leaked across sets")
+	}
+}
+
+func TestNRUResetRule(t *testing.T) {
+	// When an access would leave all used bits at 1, all except the
+	// accessed line are cleared.
+	p := NewNRUPolicy(1, 4, 1)
+	p.Touch(0, 0, 0)
+	p.Touch(0, 1, 0)
+	p.Touch(0, 2, 0)
+	if p.UsedCount(0) != 3 {
+		t.Fatalf("UsedCount = %d, want 3", p.UsedCount(0))
+	}
+	p.Touch(0, 3, 0) // would be 4th bit -> reset others
+	if p.UsedCount(0) != 1 {
+		t.Fatalf("after saturating access UsedCount = %d, want 1", p.UsedCount(0))
+	}
+	if !p.Used(0, 3) {
+		t.Fatal("accessed line's bit must survive the reset")
+	}
+}
+
+func TestNRUPaperFigure3Examples(t *testing.T) {
+	// Figure 3(a): lines {A,B,C,D}=ways{0,1,2,3}, all bits 0. Accesses
+	// C, D: bits of C and D set. U = 2 before the repeat access to D.
+	p := NewNRUPolicy(1, 4, 1)
+	p.Touch(0, 2, 0) // C
+	p.Touch(0, 3, 0) // D
+	if got := p.UsedCount(0); got != 2 {
+		t.Fatalf("U = %d, want 2", got)
+	}
+	if !p.Used(0, 3) {
+		t.Fatal("D's used bit should be 1 (estimator case: distance in [1,U])")
+	}
+
+	// Figure 3(b): accesses A, B then C: C's bit was 0 before its access
+	// and U (including C after access) becomes 3.
+	q := NewNRUPolicy(1, 4, 1)
+	q.Touch(0, 0, 0) // A
+	q.Touch(0, 1, 0) // B
+	if q.Used(0, 2) {
+		t.Fatal("C's used bit should still be 0")
+	}
+	q.Touch(0, 2, 0) // C
+	if got := q.UsedCount(0); got != 3 {
+		t.Fatalf("U after C = %d, want 3", got)
+	}
+}
+
+func TestNRUUsedInvariant(t *testing.T) {
+	// Invariant (unpartitioned, ways >= 2): after any Touch sequence at
+	// least one used bit per set is 0.
+	f := func(ops []uint8) bool {
+		p := NewNRUPolicy(2, 8, 1)
+		for _, op := range ops {
+			p.Touch(int(op>>7)&1, int(op)%8, 0)
+		}
+		return p.UsedCount(0) < 8 && p.UsedCount(1) < 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNRUVictimHasClearBit(t *testing.T) {
+	p := NewNRUPolicy(1, 8, 1)
+	rng := xrand.New(3)
+	for i := 0; i < 500; i++ {
+		if rng.Bool(0.7) {
+			p.Touch(0, rng.Intn(8), 0)
+		} else {
+			v := p.Victim(0, 0, Full(8))
+			if p.Used(0, v) {
+				t.Fatalf("iteration %d: victim way %d has used bit set", i, v)
+			}
+			p.Touch(0, v, 0) // model the fill
+		}
+	}
+}
+
+func TestNRUPointerAdvancesOncePerReplacement(t *testing.T) {
+	p := NewNRUPolicy(4, 8, 1)
+	if p.Pointer() != 0 {
+		t.Fatalf("initial pointer = %d", p.Pointer())
+	}
+	p.Victim(0, 0, Full(8))
+	if p.Pointer() != 1 {
+		t.Fatalf("pointer after one replacement = %d, want 1", p.Pointer())
+	}
+	p.Victim(3, 0, Full(8)) // different set — same global pointer
+	if p.Pointer() != 2 {
+		t.Fatalf("pointer after two replacements = %d, want 2", p.Pointer())
+	}
+	for i := 0; i < 6; i++ {
+		p.Victim(0, 0, Full(8))
+	}
+	if p.Pointer() != 0 {
+		t.Fatalf("pointer should wrap to 0, got %d", p.Pointer())
+	}
+}
+
+func TestNRUVictimStartsAtPointer(t *testing.T) {
+	p := NewNRUPolicy(1, 4, 1)
+	// All bits clear; victim should be the pointer position itself.
+	if v := p.Victim(0, 0, Full(4)); v != 0 {
+		t.Fatalf("victim = %d, want 0 (pointer position)", v)
+	}
+	// Pointer is now 1; set used bit of way 1; victim should skip to 2.
+	p.Touch(0, 1, 0)
+	if v := p.Victim(0, 0, Full(4)); v != 2 {
+		t.Fatalf("victim = %d, want 2", v)
+	}
+}
+
+func TestNRUVictimRespectsMask(t *testing.T) {
+	p := NewNRUPolicy(1, 8, 2)
+	mask := WayMask(0).With(5).With(6)
+	for i := 0; i < 20; i++ {
+		v := p.Victim(0, 0, mask)
+		if v != 5 && v != 6 {
+			t.Fatalf("victim %d outside mask", v)
+		}
+		p.Touch(0, v, 0)
+	}
+}
+
+func TestNRUVictimSaturatedMaskResets(t *testing.T) {
+	// If every allowed way has used == 1, Victim must clear them and
+	// still return an allowed way.
+	p := NewNRUPolicy(1, 8, 2)
+	mask := WayMask(0).With(2).With(3)
+	// Saturate the allowed subset via an unpartitioned touch pattern that
+	// leaves 2 and 3 set (touch 2, 3 and others to avoid global reset).
+	p.Touch(0, 2, 0)
+	p.Touch(0, 3, 0)
+	if !p.Used(0, 2) || !p.Used(0, 3) {
+		t.Fatal("setup failed")
+	}
+	v := p.Victim(0, 0, mask)
+	if v != 2 && v != 3 {
+		t.Fatalf("victim %d outside saturated mask", v)
+	}
+}
+
+func TestNRUPartitionScopedReset(t *testing.T) {
+	// With partitioning, the reset rule is scoped to the core's mask:
+	// saturating core 0's two ways must not clear core 1's bits.
+	p := NewNRUPolicy(1, 4, 2)
+	masks := []WayMask{Full(4) &^ Full(2), Full(2)} // core0: {2,3}, core1: {0,1}
+	p.SetPartition(masks)
+	p.Touch(0, 0, 1) // core 1 uses its ways
+	p.Touch(0, 2, 0)
+	p.Touch(0, 3, 0) // saturates core 0's scope {2,3} -> reset within scope
+	if p.UsedCount(0) != 2 {
+		t.Fatalf("UsedCount = %d, want 2 (core1's bit + accessed line)", p.UsedCount(0))
+	}
+	if !p.Used(0, 0) {
+		t.Fatal("core 1's used bit was cleared by core 0's scoped reset")
+	}
+	if !p.Used(0, 3) || p.Used(0, 2) {
+		t.Fatal("scoped reset should keep only the accessed line within the scope")
+	}
+}
+
+func TestNRUSetPartitionNilRestoresGlobalScope(t *testing.T) {
+	p := NewNRUPolicy(1, 4, 2)
+	p.SetPartition([]WayMask{Full(2), Full(4) &^ Full(2)})
+	p.SetPartition(nil)
+	// Global scope: saturating all four ways triggers a set-wide reset.
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w, 0)
+	}
+	if p.UsedCount(0) != 1 {
+		t.Fatalf("UsedCount = %d, want 1 after global reset", p.UsedCount(0))
+	}
+}
+
+func TestNRUSetPartitionWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong mask count")
+		}
+	}()
+	NewNRUPolicy(1, 4, 2).SetPartition([]WayMask{Full(4)})
+}
+
+func TestNRUVictimAlwaysInMaskProperty(t *testing.T) {
+	f := func(ops []uint8, rawMask uint8) bool {
+		mask := WayMask(rawMask)
+		if mask == 0 {
+			mask = Full(8)
+		}
+		p := NewNRUPolicy(1, 8, 1)
+		for _, op := range ops {
+			if op&1 == 0 {
+				p.Touch(0, int(op>>1)%8, 0)
+			} else {
+				v := p.Victim(0, 0, mask)
+				if !mask.Has(v) {
+					return false
+				}
+				p.Touch(0, v, 0)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package replacement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{LRU: "LRU", NRU: "NRU", BT: "BT", Random: "Random"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"LRU", "NRU", "BT", "Random"} {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q -> %q", name, k.String())
+		}
+	}
+	if _, err := ParseKind("plru"); err == nil {
+		t.Error("ParseKind accepted unknown name")
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	if Full(0) != 0 {
+		t.Error("Full(0) != 0")
+	}
+	if Full(4) != 0xF {
+		t.Errorf("Full(4) = %x", Full(4))
+	}
+	if Full(64) != ^WayMask(0) {
+		t.Errorf("Full(64) = %x", Full(64))
+	}
+	if Full(-3) != 0 {
+		t.Error("Full(negative) != 0")
+	}
+}
+
+func TestWayMaskOps(t *testing.T) {
+	m := WayMask(0).With(1).With(5)
+	if !m.Has(1) || !m.Has(5) || m.Has(0) {
+		t.Fatalf("mask membership wrong: %v", m)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	m = m.Without(1)
+	if m.Has(1) || !m.Has(5) {
+		t.Fatalf("Without failed: %v", m)
+	}
+	ws := WayMask(0).With(3).With(0).With(7).Ways()
+	if len(ws) != 3 || ws[0] != 0 || ws[1] != 3 || ws[2] != 7 {
+		t.Fatalf("Ways() = %v", ws)
+	}
+	if s := WayMask(0).With(0).With(2).String(); s != "{0,2}" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestWayMaskCountMatchesWaysLen(t *testing.T) {
+	f := func(m uint64) bool {
+		wm := WayMask(m)
+		return wm.Count() == len(wm.Ways())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewConstructsAllKinds(t *testing.T) {
+	for _, k := range []Kind{LRU, NRU, BT, Random} {
+		p := New(k, 8, 16, 2, 1)
+		if p.Kind() != k {
+			t.Errorf("New(%v).Kind() = %v", k, p.Kind())
+		}
+		if p.Ways() != 16 || p.Sets() != 8 {
+			t.Errorf("%v geometry wrong: %d ways %d sets", k, p.Ways(), p.Sets())
+		}
+	}
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown kind")
+		}
+	}()
+	New(Kind(99), 1, 4, 1, 0)
+}
+
+// TestAllPoliciesVictimInMask exercises the shared Victim contract across
+// every policy: the returned way is always within the allowed mask.
+func TestAllPoliciesVictimInMask(t *testing.T) {
+	for _, k := range []Kind{LRU, NRU, BT, Random} {
+		p := New(k, 4, 16, 2, 7)
+		masks := []WayMask{
+			Full(16),
+			Full(8),
+			Full(16) &^ Full(8),
+			WayMask(0).With(3),
+			WayMask(0).With(0).With(15),
+		}
+		for trial := 0; trial < 200; trial++ {
+			for _, m := range masks {
+				set := trial % 4
+				v := p.Victim(set, trial%2, m)
+				if !m.Has(v) {
+					t.Fatalf("%v: victim %d outside mask %v", k, v, m)
+				}
+				p.Touch(set, v, trial%2)
+			}
+		}
+	}
+}
+
+func TestRandomVictimCoversMask(t *testing.T) {
+	p := NewRandomPolicy(1, 8, 42)
+	mask := WayMask(0).With(1).With(4).With(6)
+	seen := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		seen[p.Victim(0, 0, mask)]++
+	}
+	for _, w := range mask.Ways() {
+		if seen[w] < 500 {
+			t.Errorf("way %d selected only %d/3000 times", w, seen[w])
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("victims outside mask: %v", seen)
+	}
+}
+
+func TestRangeMask(t *testing.T) {
+	if rangeMask(0, 4) != Full(4) {
+		t.Errorf("rangeMask(0,4) = %v", rangeMask(0, 4))
+	}
+	if rangeMask(4, 8) != Full(8)&^Full(4) {
+		t.Errorf("rangeMask(4,8) = %v", rangeMask(4, 8))
+	}
+	if rangeMask(3, 3) != 0 {
+		t.Errorf("rangeMask(3,3) = %v", rangeMask(3, 3))
+	}
+}

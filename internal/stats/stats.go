@@ -1,0 +1,236 @@
+// Package stats provides the small statistical containers used by the
+// simulator: event counters, integer histograms and running summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing event count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Value++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Histogram is a dense histogram over the integer domain [0, len(bins)).
+type Histogram struct {
+	bins []uint64
+}
+
+// NewHistogram returns a histogram with n bins.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{bins: make([]uint64, n)}
+}
+
+// Len returns the number of bins.
+func (h *Histogram) Len() int { return len(h.bins) }
+
+// Observe increments bin i. Out-of-range observations clamp to the edges.
+func (h *Histogram) Observe(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+}
+
+// Add increments bin i by n, clamping like Observe.
+func (h *Histogram) Add(i int, n uint64) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i] += n
+}
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) uint64 { return h.bins[i] }
+
+// Total returns the sum of all bins.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, b := range h.bins {
+		t += b
+	}
+	return t
+}
+
+// TailSum returns the sum of bins[from:] — the canonical "misses with
+// fewer than from ways" query on a stack-distance histogram.
+func (h *Histogram) TailSum(from int) uint64 {
+	if from < 0 {
+		from = 0
+	}
+	var t uint64
+	for i := from; i < len(h.bins); i++ {
+		t += h.bins[i]
+	}
+	return t
+}
+
+// Halve divides every bin by two (right shift). The profiling logic uses
+// this at interval boundaries to age the SDH registers, exactly as the
+// paper prescribes ("we divide all register contents by 2").
+func (h *Histogram) Halve() {
+	for i := range h.bins {
+		h.bins[i] >>= 1
+	}
+}
+
+// Reset zeroes all bins.
+func (h *Histogram) Reset() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{bins: make([]uint64, len(h.bins))}
+	copy(c.bins, h.bins)
+	return c
+}
+
+// Mean returns the mean bin index weighted by counts, or 0 for an empty
+// histogram.
+func (h *Histogram) Mean() float64 {
+	var sum, n float64
+	for i, b := range h.bins {
+		sum += float64(i) * float64(b)
+		n += float64(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// String renders the histogram compactly for debugging.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, b := range h.bins {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", b)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Summary accumulates a running mean / min / max / stddev without storing
+// samples.
+type Summary struct {
+	n           uint64
+	mean, m2    float64
+	minV, maxV  float64
+	hasExtremes bool
+}
+
+// Observe adds a sample.
+func (s *Summary) Observe(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasExtremes || x < s.minV {
+		s.minV = x
+	}
+	if !s.hasExtremes || x > s.maxV {
+		s.maxV = x
+	}
+	s.hasExtremes = true
+}
+
+// N returns the number of samples.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 if empty).
+func (s *Summary) Min() float64 { return s.minV }
+
+// Max returns the largest sample (0 if empty).
+func (s *Summary) Max() float64 { return s.maxV }
+
+// StdDev returns the sample standard deviation (0 if fewer than 2 samples).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs. Non-positive entries make
+// the result 0 (the metric is undefined there; callers treat it as a
+// degenerate workload).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// Median returns the median of xs (0 if empty). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "hits"}
+	c.Inc()
+	c.Inc()
+	c.Add(3)
+	if c.Value != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(3)
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	want := []uint64{1, 2, 0, 1}
+	for i, w := range want {
+		if h.Bin(i) != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Bin(i), w)
+		}
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(-5)
+	h.Observe(99)
+	if h.Bin(0) != 1 || h.Bin(2) != 1 {
+		t.Fatalf("clamping failed: %v", h)
+	}
+}
+
+func TestHistogramTailSum(t *testing.T) {
+	h := NewHistogram(5)
+	for i := 0; i < 5; i++ {
+		h.Add(i, uint64(i+1)) // bins: 1 2 3 4 5
+	}
+	if got := h.TailSum(0); got != 15 {
+		t.Errorf("TailSum(0) = %d, want 15", got)
+	}
+	if got := h.TailSum(3); got != 9 {
+		t.Errorf("TailSum(3) = %d, want 9", got)
+	}
+	if got := h.TailSum(5); got != 0 {
+		t.Errorf("TailSum(5) = %d, want 0", got)
+	}
+	if got := h.TailSum(-1); got != 15 {
+		t.Errorf("TailSum(-1) = %d, want 15", got)
+	}
+}
+
+func TestHistogramHalve(t *testing.T) {
+	h := NewHistogram(3)
+	h.Add(0, 7)
+	h.Add(1, 1)
+	h.Add(2, 0)
+	h.Halve()
+	if h.Bin(0) != 3 || h.Bin(1) != 0 || h.Bin(2) != 0 {
+		t.Fatalf("after halve: %v", h)
+	}
+}
+
+func TestHistogramCloneIsDeep(t *testing.T) {
+	h := NewHistogram(2)
+	h.Observe(0)
+	c := h.Clone()
+	c.Observe(1)
+	if h.Bin(1) != 0 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.Bin(0) != 1 || c.Bin(1) != 1 {
+		t.Fatalf("clone content wrong: %v", c)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(1, 2)
+	h.Add(3, 2)
+	if got := h.Mean(); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	empty := NewHistogram(4)
+	if empty.Mean() != 0 {
+		t.Fatal("empty histogram mean should be 0")
+	}
+}
+
+func TestHistogramTailSumInvariant(t *testing.T) {
+	// Property: TailSum(k) + sum(bins[:k]) == Total for any k.
+	f := func(raw []uint8, k uint8) bool {
+		h := NewHistogram(16)
+		for _, v := range raw {
+			h.Observe(int(v) % 16)
+		}
+		kk := int(k) % 17
+		var head uint64
+		for i := 0; i < kk && i < 16; i++ {
+			head += h.Bin(i)
+		}
+		return head+h.TailSum(kk) == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of that classic dataset is sqrt(32/7).
+	if !almostEqual(s.StdDev(), math.Sqrt(32.0/7.0), 1e-9) {
+		t.Errorf("StdDev = %v", s.StdDev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("zero-value summary should report zeros")
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Observe(-3)
+	s.Observe(-7)
+	if s.Min() != -7 || s.Max() != -3 {
+		t.Fatalf("min/max = %v/%v, want -7/-3", s.Min(), s.Max())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	// Non-positive values are skipped.
+	if got := GeoMean([]float64{0, 4, 9, -1}); !almostEqual(got, 6, 1e-9) {
+		t.Errorf("GeoMean with zeros = %v, want 6", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("HarmonicMean = %v", got)
+	}
+	// HM of {2, 6} = 3.
+	if got := HarmonicMean([]float64{2, 6}); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("HarmonicMean = %v, want 3", got)
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("HarmonicMean with zero should be 0")
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Error("HarmonicMean(nil) != 0")
+	}
+}
+
+func TestHarmonicLessThanArithmetic(t *testing.T) {
+	// Property: HM <= AM for positive inputs.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)/16 + 0.5
+		}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	// Median must not mutate its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated input")
+	}
+}

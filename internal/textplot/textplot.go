@@ -1,0 +1,78 @@
+// Package textplot renders the small ASCII tables and bar charts the
+// experiment harness prints for each reproduced figure.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Bars renders a horizontal bar chart. Values map onto [lo, hi]; bars are
+// `width` characters at hi. A lo > 0 (e.g. 0.9 for the paper's relative
+// plots) zooms into the interesting range, like the figures' y-axes.
+func Bars(labels []string, values []float64, lo, hi float64, width int) string {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		frac := (v - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		n := int(frac*float64(width) + 0.5)
+		fmt.Fprintf(&sb, "%-*s |%s%s %.4f\n", labelW, labels[i],
+			strings.Repeat("█", n), strings.Repeat(" ", width-n), v)
+	}
+	return sb.String()
+}
+
+// Heading renders a section banner.
+func Heading(title string) string {
+	return "\n" + title + "\n" + strings.Repeat("=", len(title)) + "\n"
+}

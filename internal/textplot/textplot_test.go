@@ -1,0 +1,77 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	// The value column must start at the same offset in every row.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("misaligned row: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableSeparator(t *testing.T) {
+	out := Table([]string{"h"}, [][]string{{"x"}})
+	if !strings.Contains(out, "-") {
+		t.Error("no separator line")
+	}
+}
+
+func TestBarsScaling(t *testing.T) {
+	out := Bars([]string{"lo", "mid", "hi"}, []float64{0, 0.5, 1}, 0, 1, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	count := func(s string) int { return strings.Count(s, "█") }
+	if count(lines[0]) != 0 || count(lines[1]) != 5 || count(lines[2]) != 10 {
+		t.Fatalf("bar lengths: %d %d %d", count(lines[0]), count(lines[1]), count(lines[2]))
+	}
+}
+
+func TestBarsClamping(t *testing.T) {
+	out := Bars([]string{"under", "over"}, []float64{-5, 99}, 0, 1, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "█") != 0 {
+		t.Error("below-range bar not clamped to zero")
+	}
+	if strings.Count(lines[1], "█") != 8 {
+		t.Error("above-range bar not clamped to full")
+	}
+}
+
+func TestBarsValuesPrinted(t *testing.T) {
+	out := Bars([]string{"x"}, []float64{0.9573}, 0.9, 1.02, 10)
+	if !strings.Contains(out, "0.9573") {
+		t.Error("numeric value missing from bar line")
+	}
+}
+
+func TestBarsDegenerateRange(t *testing.T) {
+	// lo >= hi must not panic or divide by zero.
+	out := Bars([]string{"x"}, []float64{0.5}, 1, 1, 10)
+	if out == "" {
+		t.Error("no output for degenerate range")
+	}
+}
+
+func TestHeading(t *testing.T) {
+	h := Heading("Title")
+	if !strings.Contains(h, "Title") || !strings.Contains(h, "=====") {
+		t.Errorf("heading = %q", h)
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWriteRatioObserved(t *testing.T) {
+	p := simpleProfile()
+	p.WriteRatio = 0.3
+	g := NewGenerator(p, 0, 3, 64)
+	var writes, mem int
+	for i := 0; i < 100000; i++ {
+		e := g.Next()
+		if e.Kind != Mem {
+			if e.Write {
+				t.Fatal("branch event marked as write")
+			}
+			continue
+		}
+		mem++
+		if e.Write {
+			writes++
+		}
+	}
+	got := float64(writes) / float64(mem)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("write ratio %.3f, want ~0.30", got)
+	}
+}
+
+func TestZeroWriteRatioMeansNoWrites(t *testing.T) {
+	g := NewGenerator(simpleProfile(), 0, 5, 64)
+	for i := 0; i < 20000; i++ {
+		if e := g.Next(); e.Write {
+			t.Fatal("write emitted with WriteRatio 0")
+		}
+	}
+}
+
+func TestWriteRatioValidation(t *testing.T) {
+	p := simpleProfile()
+	p.WriteRatio = 1.0
+	if p.Validate() == nil {
+		t.Fatal("WriteRatio 1.0 accepted")
+	}
+	p.WriteRatio = -0.1
+	if p.Validate() == nil {
+		t.Fatal("negative WriteRatio accepted")
+	}
+}
+
+func TestCyclicHotSweepIsSequential(t *testing.T) {
+	p := Profile{
+		Name: "cyc", BaseIPC: 1, MemRatio: 0.5, BranchRatio: 0,
+		BranchBias: 0.5, MLPOverlap: 0,
+		Phases: []Phase{{Insts: 1 << 40, HotLines: 64, HotWeight: 1, HotCyclic: 1}},
+	}
+	g := NewGenerator(p, 0, 7, 64)
+	var prev uint64
+	first := true
+	for i := 0; i < 300; i++ {
+		e := g.Next()
+		if e.Kind != Mem {
+			continue
+		}
+		if !first {
+			wantNext := prev + 64
+			if prev == 63*64 { // wrap at HotLines
+				wantNext = 0
+			}
+			if e.Addr != wantNext {
+				t.Fatalf("cyclic sweep broke: %#x after %#x", e.Addr, prev)
+			}
+		}
+		prev = e.Addr
+		first = false
+	}
+}
+
+func TestHotCyclicValidation(t *testing.T) {
+	p := simpleProfile()
+	p.Phases[0].HotCyclic = 1.5
+	if p.Validate() == nil {
+		t.Fatal("HotCyclic > 1 accepted")
+	}
+}

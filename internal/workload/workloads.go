@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Workload is a named multiprogrammed mix, one benchmark per core.
+type Workload struct {
+	Name       string
+	Benchmarks []string
+}
+
+// Threads returns the number of cores the workload occupies.
+func (w Workload) Threads() int { return len(w.Benchmarks) }
+
+// String renders "2T_01: apsi, bzip2".
+func (w Workload) String() string {
+	return w.Name + ": " + strings.Join(w.Benchmarks, ", ")
+}
+
+// The workload tables below are transcribed verbatim from Table II.
+
+var twoThread = []Workload{
+	{"2T_01", []string{"apsi", "bzip2"}},
+	{"2T_02", []string{"mcf", "parser"}},
+	{"2T_03", []string{"twolf", "vortex"}},
+	{"2T_04", []string{"vpr", "art"}},
+	{"2T_05", []string{"apsi", "crafty"}},
+	{"2T_06", []string{"bzip2", "eon"}},
+	{"2T_07", []string{"mcf", "gcc"}},
+	{"2T_08", []string{"parser", "gzip"}},
+	{"2T_09", []string{"applu", "gap"}},
+	{"2T_10", []string{"lucas", "sixtrack"}},
+	{"2T_11", []string{"facerec", "wupwise"}},
+	{"2T_12", []string{"galgel", "facerec"}},
+	{"2T_13", []string{"applu", "apsi"}},
+	{"2T_14", []string{"gap", "bzip2"}},
+	{"2T_15", []string{"lucas", "mcf"}},
+	{"2T_16", []string{"sixtrack", "parser"}},
+	{"2T_17", []string{"applu", "crafty"}},
+	{"2T_18", []string{"gap", "eon"}},
+	{"2T_19", []string{"lucas", "gcc"}},
+	{"2T_20", []string{"sixtrack", "gzip"}},
+	{"2T_21", []string{"crafty", "eon"}},
+	{"2T_22", []string{"gcc", "gzip"}},
+	{"2T_23", []string{"mesa", "perlbmk"}},
+	{"2T_24", []string{"equake", "mgrid"}},
+}
+
+var fourThread = []Workload{
+	{"4T_01", []string{"apsi", "bzip2", "mcf", "parser"}},
+	{"4T_02", []string{"parser", "twolf", "vortex", "vpr"}},
+	{"4T_03", []string{"apsi", "crafty", "bzip2", "eon"}},
+	{"4T_04", []string{"mcf", "gcc", "parser", "gzip"}},
+	{"4T_05", []string{"applu", "gap", "lucas", "sixtrack"}},
+	{"4T_06", []string{"lucas", "galgel", "facerec", "wupwise"}},
+	{"4T_07", []string{"applu", "apsi", "gap", "bzip2"}},
+	{"4T_08", []string{"lucas", "mcf", "sixtrack", "parser"}},
+	{"4T_09", []string{"vpr", "wupwise", "gzip", "crafty"}},
+	{"4T_10", []string{"fma3d", "swim", "mcf", "applu"}},
+	{"4T_11", []string{"applu", "crafty", "gap", "eon"}},
+	{"4T_12", []string{"lucas", "gcc", "sixtrack", "gzip"}},
+	{"4T_13", []string{"crafty", "eon", "gcc", "gzip"}},
+	{"4T_14", []string{"mesa", "perl", "equake", "mgrid"}},
+}
+
+var eightThread = []Workload{
+	{"8T_01", []string{"apsi", "bzip2", "mcf", "parser", "twolf", "swim", "vpr", "art"}},
+	{"8T_02", []string{"apsi", "crafty", "bzip2", "eon", "mcf", "gcc", "parser", "gzip"}},
+	{"8T_03", []string{"twolf", "mesa", "vortex", "perl", "vpr", "equake", "art", "mgrid"}},
+	{"8T_04", []string{"applu", "gap", "lucas", "sixtrack", "facerec", "wupwise", "galgel", "facerec"}},
+	{"8T_05", []string{"applu", "apsi", "gap", "bzip2", "lucas", "mcf", "sixtrack", "parser"}},
+	{"8T_06", []string{"lucas", "mcf", "sixtrack", "parser", "facerec", "twolf", "wupwise", "art"}},
+	{"8T_07", []string{"galgel", "vpr", "twolf", "apsi", "art", "swim", "parser", "wupwise"}},
+	{"8T_08", []string{"gzip", "crafty", "fma3d", "mcf", "applu", "gap", "mesa", "perlbmk"}},
+	{"8T_09", []string{"applu", "crafty", "gap", "eon", "lucas", "gcc", "sixtrack", "gzip"}},
+	{"8T_10", []string{"wupwise", "mesa", "facerec", "perl", "galgel", "equake", "facerec", "mgrid"}},
+	{"8T_11", []string{"crafty", "eon", "gcc", "gzip", "mesa", "perl", "equake", "mgrid"}},
+}
+
+// ByThreads returns the paper's workloads for a given thread count
+// (2, 4 or 8). The returned slice is a copy.
+func ByThreads(n int) ([]Workload, error) {
+	var src []Workload
+	switch n {
+	case 2:
+		src = twoThread
+	case 4:
+		src = fourThread
+	case 8:
+		src = eightThread
+	default:
+		return nil, fmt.Errorf("workload: no workloads for %d threads", n)
+	}
+	return append([]Workload(nil), src...), nil
+}
+
+// All returns every workload (2T, 4T and 8T, 49 in total).
+func All() []Workload {
+	out := append([]Workload(nil), twoThread...)
+	out = append(out, fourThread...)
+	return append(out, eightThread...)
+}
+
+// SingleThread returns one single-benchmark workload per catalog entry,
+// used by Figure 6's 1-core column and by the isolation baselines.
+func SingleThread() []Workload {
+	names := Names()
+	sort.Strings(names)
+	out := make([]Workload, 0, len(names))
+	for _, n := range names {
+		out = append(out, Workload{Name: "1T_" + n, Benchmarks: []string{n}})
+	}
+	return out
+}
+
+// Lookup finds a workload by name across all tables.
+func Lookup(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range SingleThread() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Validate checks that every workload references only known benchmarks;
+// returns the first error found. Used as a start-up assertion by cmd/.
+func Validate() error {
+	for _, w := range All() {
+		if len(w.Benchmarks) == 0 {
+			return fmt.Errorf("workload %s: empty", w.Name)
+		}
+		for _, b := range w.Benchmarks {
+			if _, err := Get(b); err != nil {
+				return fmt.Errorf("workload %s: %v", w.Name, err)
+			}
+		}
+	}
+	return nil
+}
