@@ -1,0 +1,32 @@
+# Local developer targets. `make ci` runs exactly what
+# .github/workflows/ci.yml runs, in the same order.
+
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass of every benchmark — a smoke test that the bench harness
+# still runs, not a measurement.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build race bench

@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -53,7 +54,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		if _, err := h.Fig6(nil); err != nil {
+		if _, err := h.Fig6(context.Background(), nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +64,33 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		if _, err := h.Fig7(); err != nil {
+		if _, err := h.Fig7(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Serial and BenchmarkFig7Parallel compare the experiment
+// engine at Parallelism 1 versus GOMAXPROCS on the same Fig7 sweep — the
+// pair behind BENCH_parallel.json. Output is bit-identical either way;
+// only wall-clock differs.
+func BenchmarkFig7Serial(b *testing.B) {
+	opt := benchOptions()
+	opt.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		h := experiments.New(opt)
+		if _, err := h.Fig7(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Parallel(b *testing.B) {
+	opt := benchOptions()
+	opt.Parallelism = 0 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		h := experiments.New(opt)
+		if _, err := h.Fig7(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +102,7 @@ func BenchmarkFig8(b *testing.B) {
 	opt.WorkloadLimit = 2
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(opt)
-		if _, err := h.Fig8(); err != nil {
+		if _, err := h.Fig8(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +112,7 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		if _, err := h.Fig9(); err != nil {
+		if _, err := h.Fig9(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/cache"
 	"repro/internal/cmp"
@@ -96,7 +99,13 @@ func main() {
 		}
 	}
 
-	res := sys.Run()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := sys.RunContext(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpasim: canceled")
+		os.Exit(130)
+	}
 
 	fmt.Printf("workload %s, config %s, L2 %dKB %s\n",
 		res.Workload, res.ConfigName, *sizeKB, kind)

@@ -4,18 +4,25 @@
 // versus assigned ways, plus summary rates. This is the quickest way to
 // understand why MinMisses allocates the way it does.
 //
-//	misscurve [-insts N] [-size KB] [benchmark ...]
+//	misscurve [-insts N] [-size KB] [-parallel N] [benchmark ...]
 //
-// With no arguments it characterizes the whole catalog.
+// With no arguments it characterizes the whole catalog; benchmarks are
+// characterized -parallel at a time (default GOMAXPROCS) and printed in
+// the requested order.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/cache"
+	"repro/internal/experiments/sched"
 	"repro/internal/profiling"
 	"repro/internal/replacement"
 	"repro/internal/textplot"
@@ -25,10 +32,14 @@ import (
 
 func main() {
 	var (
-		insts  = flag.Uint64("insts", 500_000, "instructions to trace per benchmark")
-		sizeKB = flag.Int("size", 2048, "L2 size in KB (16-way, 128B lines)")
+		insts    = flag.Uint64("insts", 500_000, "instructions to trace per benchmark")
+		sizeKB   = flag.Int("size", 2048, "L2 size in KB (16-way, 128B lines)")
+		parallel = flag.Int("parallel", 0, "max concurrent characterizations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	names := flag.Args()
 	if len(names) == 0 {
@@ -40,19 +51,32 @@ func main() {
 	for w := 1; w <= 16; w++ {
 		headers = append(headers, fmt.Sprint(w))
 	}
-	var rows [][]string
-	for _, name := range names {
+
+	// Each benchmark is independent: run them through a bounded pool and
+	// assemble the rows in input order.
+	profs := make([]trace.Profile, len(names))
+	for i, name := range names {
 		prof, err := workload.Get(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "misscurve:", err)
 			os.Exit(1)
 		}
-		row, err := characterize(prof, name, *insts, sets)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "misscurve:", err)
-			os.Exit(1)
+		profs[i] = prof
+	}
+	pool := sched.NewPool(*parallel)
+	rows := make([][]string, len(names))
+	err := sched.ForEach(ctx, pool, len(names), func(i int) error {
+		row, err := characterize(ctx, profs[i], names[i], *insts, sets)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "misscurve: canceled")
+			os.Exit(130)
 		}
-		rows = append(rows, row)
+		fmt.Fprintln(os.Stderr, "misscurve:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("L2 miss ratio by assigned ways (%dKB 16-way L2, %d insts/benchmark)\n\n",
 		*sizeKB, *insts)
@@ -62,7 +86,7 @@ func main() {
 	fmt.Println("many ways — the curve MinMisses optimizes over.")
 }
 
-func characterize(prof trace.Profile, name string, insts uint64, sets int) ([]string, error) {
+func characterize(ctx context.Context, prof trace.Profile, name string, insts uint64, sets int) ([]string, error) {
 	g := trace.NewGenerator(prof, 0, workload.Seed(name), 128)
 	l1 := cache.New(cache.Config{Name: "L1", SizeBytes: 32 * 1024,
 		LineBytes: 128, Ways: 2, Policy: replacement.LRU, Cores: 1})
@@ -71,7 +95,14 @@ func characterize(prof trace.Profile, name string, insts uint64, sets int) ([]st
 		Kind: replacement.LRU,
 	})
 	var mem uint64
+	sinceCheck := 0
 	for g.Insts() < insts {
+		if sinceCheck++; sinceCheck >= 8192 {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := g.Next()
 		if e.Kind != trace.Mem {
 			continue

@@ -4,18 +4,24 @@
 //
 //	repro [-experiment all|table1|table2|fig6|fig7|fig8|fig9]
 //	      [-insts N] [-interval N] [-sample N] [-limit N]
-//	      [-csvdir DIR] [-v]
+//	      [-parallel N] [-csvdir DIR] [-v]
 //
 // The default instruction budget (1M per thread) is a scaled-down stand-in
 // for the paper's 100M SimPoint slices; raise -insts for tighter numbers.
-// With -csvdir, each figure also writes a machine-readable CSV.
+// Simulations run -parallel at a time (default: GOMAXPROCS); the output
+// is bit-identical at any setting. Ctrl-C cancels the sweep. With
+// -csvdir, each figure also writes a machine-readable CSV.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -30,13 +36,26 @@ func main() {
 		interval   = flag.Uint64("interval", 250_000, "repartition interval in cycles")
 		sample     = flag.Int("sample", 32, "ATD set-sampling rate (1 in N sets)")
 		limit      = flag.Int("limit", 0, "max workloads per thread count (0 = all)")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		csvdir     = flag.String("csvdir", "", "directory for CSV output (optional)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if err := workload.Validate(); err != nil {
 		fatal(err)
+	}
+	// counting tracks whether the live job counter has written a partial
+	// line that needs terminating before other stderr output.
+	counting := false
+	endCounter := func() {
+		if counting {
+			fmt.Fprintln(os.Stderr)
+			counting = false
+		}
 	}
 	opt := experiments.Options{
 		Insts:         *insts,
@@ -44,10 +63,17 @@ func main() {
 		SampleRate:    *sample,
 		L2SizeKB:      2048,
 		WorkloadLimit: *limit,
+		Parallelism:   *parallel,
 	}
 	if *verbose {
 		opt.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	} else {
+		// Live completed/total aggregation on one self-overwriting line.
+		opt.OnJob = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rjobs %d/%d", done, total)
+			counting = true
 		}
 	}
 	h := experiments.New(opt)
@@ -68,35 +94,40 @@ func main() {
 
 	run := func(name string) {
 		start := time.Now()
+		simsBefore := h.Simulated()
 		switch name {
 		case "table1":
 			fmt.Print(experiments.Table1())
 		case "table2":
 			fmt.Print(experiments.Table2())
 		case "fig6":
-			d, err := h.Fig6([]replacement.Kind{
+			d, err := h.Fig6(ctx, []replacement.Kind{
 				replacement.LRU, replacement.NRU, replacement.BT, replacement.Random})
+			endCounter()
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Print(d.Render())
 			writeCSV("fig6.csv", d.CSV())
 		case "fig7":
-			d, err := h.Fig7()
+			d, err := h.Fig7(ctx)
+			endCounter()
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Print(d.Render())
 			writeCSV("fig7.csv", d.CSV())
 		case "fig8":
-			d, err := h.Fig8()
+			d, err := h.Fig8(ctx)
+			endCounter()
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Print(d.Render())
 			writeCSV("fig8.csv", d.CSV())
 		case "fig9":
-			d, err := h.Fig9()
+			d, err := h.Fig9(ctx)
+			endCounter()
 			if err != nil {
 				fatal(err)
 			}
@@ -105,7 +136,8 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s done in %v, %d simulations run, %d workers]\n",
+			name, time.Since(start).Round(time.Millisecond), h.Simulated()-simsBefore, h.Parallelism())
 	}
 
 	if *experiment == "all" {
@@ -118,6 +150,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "repro: canceled")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "repro:", err)
 	os.Exit(1)
 }

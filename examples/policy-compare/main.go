@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/experiments/sched"
 	"repro/internal/replacement"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -48,11 +50,20 @@ func main() {
 		{"M-BT (up/down + BT)", replacement.BT, "M-BT"},
 	}
 
+	// The variants are independent simulations: run them through a
+	// bounded pool (the experiment engine's substrate) and assemble the
+	// table in display order.
+	results := make([]cmp.Results, len(variants))
+	_ = sched.ForEach(context.Background(), sched.NewPool(0), len(variants), func(i int) error {
+		results[i] = run(w, variants[i].policy, variants[i].acronym)
+		return nil
+	})
+
 	labels := make([]string, 0, len(variants))
 	values := make([]float64, 0, len(variants))
 	rows := make([][]string, 0, len(variants))
-	for _, v := range variants {
-		res := run(w, v.policy, v.acronym)
+	for i, v := range variants {
+		res := results[i]
 		labels = append(labels, v.label)
 		values = append(values, res.Throughput())
 		missRate := float64(res.L2Misses) / float64(res.L2Accesses) * 100

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/experiments/sched"
 	"repro/internal/replacement"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -38,18 +40,28 @@ func main() {
 		{"QoS art<=1.1x", core.GoalQoS, 1.1},
 	}
 
-	// Isolation IPCs for slowdown reporting.
-	iso := map[string]float64{}
-	for _, b := range w.Benchmarks {
-		iso[b] = runOne(workload.Workload{Name: "iso", Benchmarks: []string{b}},
-			core.GoalMinMisses, 0, false).PerCore[0].IPC
-	}
+	// Every simulation — the two isolation baselines and the four goal
+	// variants — is independent; run them all through one bounded pool
+	// and assemble the table in display order.
+	isoIPC := make([]float64, len(w.Benchmarks))
+	goalRes := make([]cmp.Results, len(variants))
+	_ = sched.ForEach(context.Background(), sched.NewPool(0),
+		len(w.Benchmarks)+len(variants), func(i int) error {
+			if i < len(w.Benchmarks) {
+				isoIPC[i] = runOne(workload.Workload{Name: "iso", Benchmarks: []string{w.Benchmarks[i]}},
+					core.GoalMinMisses, 0, false).PerCore[0].IPC
+			} else {
+				v := variants[i-len(w.Benchmarks)]
+				goalRes[i-len(w.Benchmarks)] = runOne(w, v.goal, v.qos, true)
+			}
+			return nil
+		})
 
 	rows := make([][]string, 0, len(variants))
-	for _, v := range variants {
-		res := runOne(w, v.goal, v.qos, true)
+	for i, v := range variants {
+		res := goalRes[i]
 		slow := func(i int) float64 {
-			return iso[w.Benchmarks[i]] / res.PerCore[i].IPC
+			return isoIPC[i] / res.PerCore[i].IPC
 		}
 		rows = append(rows, []string{
 			v.label,
@@ -59,7 +71,7 @@ func main() {
 		})
 	}
 	fmt.Printf("workload: %v (isolation IPCs: art %.3f, twolf %.3f)\n\n",
-		w.Benchmarks, iso["art"], iso["twolf"])
+		w.Benchmarks, isoIPC[0], isoIPC[1])
 	fmt.Print(textplot.Table(
 		[]string{"goal", "throughput", "art slowdown", "twolf slowdown"}, rows))
 	fmt.Println("\nLower slowdown = closer to running alone. The QoS goal buys")

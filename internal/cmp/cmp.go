@@ -11,6 +11,7 @@
 package cmp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -215,12 +216,37 @@ func (s *System) Writeback(coreID int, addr uint64) {
 // Run executes the simulation until every core has committed
 // cfg.MaxInsts instructions and returns the measurements.
 func (s *System) Run() Results {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// cancelCheckEvery is how many step-loop iterations pass between context
+// polls in RunContext — coarse enough to stay off the hot path, fine
+// enough that cancellation lands within a fraction of a millisecond.
+const cancelCheckEvery = 4096
+
+// RunContext is Run with cooperative cancellation: the step loop polls
+// ctx every few thousand steps and returns ctx.Err() (with zero Results)
+// once it is done. A background context adds no measurable overhead.
+func (s *System) RunContext(ctx context.Context) (Results, error) {
 	n := len(s.cores)
 	crossed := make([]bool, n)
 	results := make([]CoreResult, n)
 	remaining := n
 
+	done := ctx.Done()
+	sinceCheck := 0
 	for remaining > 0 {
+		if done != nil {
+			if sinceCheck++; sinceCheck >= cancelCheckEvery {
+				sinceCheck = 0
+				select {
+				case <-done:
+					return Results{}, ctx.Err()
+				default:
+				}
+			}
+		}
 		// Pick the core with the smallest local clock (ties: lowest id).
 		min := 0
 		for i := 1; i < n; i++ {
@@ -267,7 +293,7 @@ func (s *System) Run() Results {
 			res.ATDObserves += m.Observed()
 		}
 	}
-	return res
+	return res, nil
 }
 
 func (s *System) configName() string {

@@ -1,8 +1,11 @@
 package cmp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -231,5 +234,29 @@ func TestPseudoLRUWithinFewPercentOfLRU(t *testing.T) {
 		if math.Abs(rel-1) > 0.05 {
 			t.Errorf("%s relative throughput %.3f, want within 5%% of LRU", name, rel)
 		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := testConfig(t, []string{"mcf", "swim"}, replacement.LRU, "", 256)
+	cfg.MaxInsts = 50_000_000 // far more than the canceled run will get through
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := sys.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.PerCore) != 0 {
+		t.Fatalf("canceled run returned results: %+v", res)
+	}
+	// The poll interval is thousands of steps, not millions: a canceled
+	// run must bail out long before the instruction target.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
 	}
 }

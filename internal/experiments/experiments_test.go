@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,50 +21,56 @@ func tinyOptions() Options {
 }
 
 func TestRunCaching(t *testing.T) {
+	ctx := context.Background()
 	h := New(tinyOptions())
 	w, err := workload.Lookup("2T_01")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := h.Run(w, replacement.LRU, "", 1024)
+	a, err := h.Run(ctx, w, replacement.LRU, "", 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := h.Run(w, replacement.LRU, "", 1024)
+	b, err := h.Run(ctx, w, replacement.LRU, "", 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Throughput() != b.Throughput() {
 		t.Fatal("cached run differs")
 	}
-	if len(h.runCache) == 0 {
+	if h.CachedRuns() == 0 {
 		t.Fatal("run not cached")
+	}
+	if h.Simulated() != 1 {
+		t.Fatalf("simulated %d times, want 1", h.Simulated())
 	}
 }
 
 func TestIsolationIPCCached(t *testing.T) {
+	ctx := context.Background()
 	h := New(tinyOptions())
-	a, err := h.IsolationIPC("gzip", 1024)
+	a, err := h.IsolationIPC(ctx, "gzip", 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a <= 0 {
 		t.Fatalf("isolation IPC = %v", a)
 	}
-	b, _ := h.IsolationIPC("gzip", 1024)
+	b, _ := h.IsolationIPC(ctx, "gzip", 1024)
 	if a != b {
 		t.Fatal("isolation IPC changed between calls")
 	}
 }
 
 func TestSummarizeProducesSaneMetrics(t *testing.T) {
+	ctx := context.Background()
 	h := New(tinyOptions())
 	w, _ := workload.Lookup("2T_21") // crafty, eon: both compute bound
-	res, err := h.Run(w, replacement.LRU, "", 1024)
+	res, err := h.Run(ctx, w, replacement.LRU, "", 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := h.Summarize(w, res, 1024)
+	sum, err := h.Summarize(ctx, w, res, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,8 +88,9 @@ func TestSummarizeProducesSaneMetrics(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	ctx := context.Background()
 	h := New(tinyOptions())
-	d, err := h.Fig6(nil)
+	d, err := h.Fig6(ctx, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,8 +123,9 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	ctx := context.Background()
 	h := New(tinyOptions())
-	d, err := h.Fig7()
+	d, err := h.Fig7(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,8 +149,9 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	ctx := context.Background()
 	h := New(tinyOptions())
-	d, err := h.Fig8With([]int{512, 1024}, Fig8Pairs)
+	d, err := h.Fig8With(ctx, []int{512, 1024}, Fig8Pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,13 +177,14 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	ctx := context.Background()
 	// The paper's <0.3% profiling-power claim is tied to its 1/32 set
 	// sampling, so this test uses the paper's rate rather than the tiny
 	// harness default.
 	opt := tinyOptions()
 	opt.SampleRate = 32
 	h := New(opt)
-	d, err := h.Fig9()
+	d, err := h.Fig9(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,16 +206,17 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig9ReusesFig7Runs(t *testing.T) {
+	ctx := context.Background()
 	h := New(tinyOptions())
-	if _, err := h.Fig7(); err != nil {
+	if _, err := h.Fig7(ctx); err != nil {
 		t.Fatal(err)
 	}
-	before := len(h.runCache)
-	if _, err := h.Fig9(); err != nil {
+	before := h.Simulated()
+	if _, err := h.Fig9(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if len(h.runCache) != before {
-		t.Errorf("Fig9 ran %d extra simulations; should reuse Fig7's", len(h.runCache)-before)
+	if h.Simulated() != before {
+		t.Errorf("Fig9 ran %d extra simulations; should reuse Fig7's", h.Simulated()-before)
 	}
 }
 

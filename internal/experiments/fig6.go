@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +28,7 @@ var MetricNames = [3]string{"Throughput", "Harmonic mean", "Weighted speedup"}
 
 // Fig6 runs the Figure 6 experiment. Policies must include
 // replacement.LRU, which is the baseline.
-func (h *Harness) Fig6(policies []replacement.Kind) (*Fig6Data, error) {
+func (h *Harness) Fig6(ctx context.Context, policies []replacement.Kind) (*Fig6Data, error) {
 	if len(policies) == 0 {
 		policies = []replacement.Kind{replacement.LRU, replacement.NRU, replacement.BT}
 	}
@@ -36,6 +37,11 @@ func (h *Harness) Fig6(policies []replacement.Kind) (*Fig6Data, error) {
 		data.Rel[m] = make([][]float64, len(data.Cores))
 	}
 
+	// Gather every simulation the figure needs — runs plus isolation
+	// baselines — and push them through the worker pool before the
+	// deterministic serial assembly below.
+	perCore := make([][]workload.Workload, len(data.Cores))
+	var specs []RunSpec
 	for ci, cores := range data.Cores {
 		var ws []workload.Workload
 		if cores == 1 {
@@ -48,6 +54,22 @@ func (h *Harness) Fig6(policies []replacement.Kind) (*Fig6Data, error) {
 			}
 		}
 		ws = h.limitWorkloads(ws)
+		perCore[ci] = ws
+		for _, w := range ws {
+			for _, pol := range policies {
+				specs = append(specs, RunSpec{W: w, Kind: pol, SizeKB: h.opt.L2SizeKB})
+			}
+			for _, b := range w.Benchmarks {
+				specs = append(specs, isoSpec(b, h.opt.L2SizeKB))
+			}
+		}
+	}
+	if err := h.Prefetch(ctx, specs); err != nil {
+		return nil, err
+	}
+
+	for ci := range data.Cores {
+		ws := perCore[ci]
 
 		// rel[workload][policy] summaries.
 		perPolicy := make([][]metrics.Summary, len(policies))
@@ -57,11 +79,11 @@ func (h *Harness) Fig6(policies []replacement.Kind) (*Fig6Data, error) {
 		for wi, w := range ws {
 			var base metrics.Summary
 			for pi, pol := range policies {
-				res, err := h.Run(w, pol, "", h.opt.L2SizeKB)
+				res, err := h.Run(ctx, w, pol, "", h.opt.L2SizeKB)
 				if err != nil {
 					return nil, err
 				}
-				sum, err := h.Summarize(w, res, h.opt.L2SizeKB)
+				sum, err := h.Summarize(ctx, w, res, h.opt.L2SizeKB)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,27 +23,60 @@ type Fig7Data struct {
 }
 
 // Fig7 runs the Figure 7 experiment with the paper's six configurations.
-func (h *Harness) Fig7() (*Fig7Data, error) {
-	return h.Fig7With(Fig7Configs)
+func (h *Harness) Fig7(ctx context.Context) (*Fig7Data, error) {
+	return h.Fig7With(ctx, Fig7Configs)
+}
+
+// fig7Specs lists every simulation Figure 7 (and Figure 9, which shares
+// them) needs: each workload under each configuration, plus — when iso is
+// true — the isolation baselines Summarize divides by.
+func (h *Harness) fig7Specs(coreCounts []int, configs []string, iso bool) (specs []RunSpec, perCore [][]workload.Workload, err error) {
+	perCore = make([][]workload.Workload, len(coreCounts))
+	for i, cores := range coreCounts {
+		ws, err := workload.ByThreads(cores)
+		if err != nil {
+			return nil, nil, err
+		}
+		ws = h.limitWorkloads(ws)
+		perCore[i] = ws
+		for _, w := range ws {
+			for _, acr := range configs {
+				kind, err := policyOf(acr)
+				if err != nil {
+					return nil, nil, err
+				}
+				specs = append(specs, RunSpec{W: w, Kind: kind, Acronym: acr, SizeKB: h.opt.L2SizeKB})
+			}
+			if iso {
+				for _, b := range w.Benchmarks {
+					specs = append(specs, isoSpec(b, h.opt.L2SizeKB))
+				}
+			}
+		}
+	}
+	return specs, perCore, nil
 }
 
 // Fig7With runs Figure 7 with a custom configuration list; the first
 // entry is the baseline.
-func (h *Harness) Fig7With(configs []string) (*Fig7Data, error) {
+func (h *Harness) Fig7With(ctx context.Context, configs []string) (*Fig7Data, error) {
 	if len(configs) < 2 {
 		return nil, fmt.Errorf("experiments: fig7 needs a baseline plus configs")
 	}
 	data := &Fig7Data{Cores: []int{2, 4, 8}, Configs: configs}
-	for _, cores := range data.Cores {
-		ws, err := workload.ByThreads(cores)
-		if err != nil {
-			return nil, err
-		}
-		ws = h.limitWorkloads(ws)
+	specs, perCore, err := h.fig7Specs(data.Cores, configs, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Prefetch(ctx, specs); err != nil {
+		return nil, err
+	}
+	for i := range data.Cores {
+		ws := perCore[i]
 
 		perConfig := make([][]metrics.Summary, len(configs))
-		for i := range perConfig {
-			perConfig[i] = make([]metrics.Summary, len(ws))
+		for ci := range perConfig {
+			perConfig[ci] = make([]metrics.Summary, len(ws))
 		}
 		for wi, w := range ws {
 			var base metrics.Summary
@@ -51,11 +85,11 @@ func (h *Harness) Fig7With(configs []string) (*Fig7Data, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := h.Run(w, kind, acr, h.opt.L2SizeKB)
+				res, err := h.Run(ctx, w, kind, acr, h.opt.L2SizeKB)
 				if err != nil {
 					return nil, err
 				}
-				sum, err := h.Summarize(w, res, h.opt.L2SizeKB)
+				sum, err := h.Summarize(ctx, w, res, h.opt.L2SizeKB)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,12 +42,12 @@ type Fig8Data struct {
 
 // Fig8 runs the Figure 8 experiment over the 24 two-thread workloads and
 // the paper's three cache sizes.
-func (h *Harness) Fig8() (*Fig8Data, error) {
-	return h.Fig8With([]int{512, 1024, 2048}, Fig8Pairs)
+func (h *Harness) Fig8(ctx context.Context) (*Fig8Data, error) {
+	return h.Fig8With(ctx, []int{512, 1024, 2048}, Fig8Pairs)
 }
 
 // Fig8With runs Figure 8 with custom sizes and pairs.
-func (h *Harness) Fig8With(sizesKB []int, pairs []Fig8Pair) (*Fig8Data, error) {
+func (h *Harness) Fig8With(ctx context.Context, sizesKB []int, pairs []Fig8Pair) (*Fig8Data, error) {
 	ws, err := workload.ByThreads(2)
 	if err != nil {
 		return nil, err
@@ -56,17 +57,34 @@ func (h *Harness) Fig8With(sizesKB []int, pairs []Fig8Pair) (*Fig8Data, error) {
 	for _, w := range ws {
 		data.Workloads = append(data.Workloads, w.Name)
 	}
+
+	// Every (pair, workload, size) needs a partitioned run and its
+	// non-partitioned baseline; prefetch them all through the pool.
+	var specs []RunSpec
+	for _, pair := range pairs {
+		for _, w := range ws {
+			for _, size := range sizesKB {
+				specs = append(specs,
+					RunSpec{W: w, Kind: pair.Policy, SizeKB: size},
+					RunSpec{W: w, Kind: pair.Policy, Acronym: pair.Acronym, SizeKB: size})
+			}
+		}
+	}
+	if err := h.Prefetch(ctx, specs); err != nil {
+		return nil, err
+	}
+
 	for pi, pair := range pairs {
 		perW := make([][]float64, len(ws))
 		avg := make([]float64, len(sizesKB))
 		for wi, w := range ws {
 			perW[wi] = make([]float64, len(sizesKB))
 			for si, size := range sizesKB {
-				baseRes, err := h.Run(w, pair.Policy, "", size)
+				baseRes, err := h.Run(ctx, w, pair.Policy, "", size)
 				if err != nil {
 					return nil, err
 				}
-				partRes, err := h.Run(w, pair.Policy, pair.Acronym, size)
+				partRes, err := h.Run(ctx, w, pair.Policy, pair.Acronym, size)
 				if err != nil {
 					return nil, err
 				}

@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/textplot"
-	"repro/internal/workload"
 )
 
 // Fig9Data holds Figure 9: relative power and energy of the six CPA
@@ -26,16 +26,19 @@ type Fig9Data struct {
 }
 
 // Fig9 runs the Figure 9 experiment, reusing any runs Figure 7 already
-// cached in the harness.
-func (h *Harness) Fig9() (*Fig9Data, error) {
+// cached in the harness (they share all their configurations).
+func (h *Harness) Fig9(ctx context.Context) (*Fig9Data, error) {
 	params := power.DefaultParams()
 	data := &Fig9Data{Cores: []int{2, 4, 8}, Configs: Fig7Configs}
-	for _, cores := range data.Cores {
-		ws, err := workload.ByThreads(cores)
-		if err != nil {
-			return nil, err
-		}
-		ws = h.limitWorkloads(ws)
+	specs, perCore, err := h.fig7Specs(data.Cores, data.Configs, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Prefetch(ctx, specs); err != nil {
+		return nil, err
+	}
+	for coreIdx, cores := range data.Cores {
+		ws := perCore[coreIdx]
 
 		relP := make([][]float64, len(data.Configs)) // per config: per-workload ratios
 		relE := make([][]float64, len(data.Configs))
@@ -50,7 +53,7 @@ func (h *Harness) Fig9() (*Fig9Data, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := h.Run(w, kind, acr, h.opt.L2SizeKB)
+				res, err := h.Run(ctx, w, kind, acr, h.opt.L2SizeKB)
 				if err != nil {
 					return nil, err
 				}

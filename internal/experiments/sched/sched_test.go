@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	pool := NewPool(2)
+	if pool.Size() != 2 {
+		t.Fatalf("size = %d, want 2", pool.Size())
+	}
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = pool.Do(context.Background(), func() error {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds pool size 2", p)
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	if NewPool(0).Size() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[int](NewPool(4))
+	var computes atomic.Int32
+	release := make(chan struct{})
+	results := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+				computes.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}()
+	}
+	// Give every goroutine a chance to join the flight before releasing.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	for i := 0; i < 8; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("result = %d, want 42", v)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len = %d, want 1", c.Len())
+	}
+}
+
+func TestWaiterCancellation(t *testing.T) {
+	c := NewCache[int](NewPool(1))
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "slow", func(context.Context) (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, "slow", func(context.Context) (int, error) { return 2, nil })
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter did not return promptly")
+	}
+	close(release)
+}
+
+func TestQueuedJobCancellation(t *testing.T) {
+	// One slot, occupied by a blocked leader: a queued job for another
+	// key must give up promptly when its context is canceled.
+	pool := NewPool(1)
+	c := NewCache[int](pool)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "hog", func(context.Context) (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, "queued", func(context.Context) (int, error) { return 2, nil })
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued error = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued job did not cancel promptly")
+	}
+	close(release)
+
+	// The queued key must not be poisoned: it can be computed later.
+	v, err := c.Do(context.Background(), "queued", func(context.Context) (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("retry after cancel = (%d, %v), want (3, nil)", v, err)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := NewCache[int](NewPool(1))
+	boom := fmt.Errorf("boom")
+	if _, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry cached; len = %d", c.Len())
+	}
+	v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestPoolDoCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := NewPool(1).Do(ctx, func() error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) || ran {
+		t.Fatalf("Do on canceled ctx: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestForEachOrderedResults(t *testing.T) {
+	pool := NewPool(3)
+	out := make([]int, 16)
+	err := ForEach(context.Background(), pool, len(out), func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	pool := NewPool(1)
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(context.Background(), pool, 8, func(i int) error {
+		// Whichever job runs first fails (goroutine order is arbitrary).
+		if ran.Add(1) == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// With one slot and the first job failing, later jobs should mostly
+	// be canceled before they start.
+	if ran.Load() == 8 {
+		t.Fatal("error did not cancel remaining jobs")
+	}
+}
+
+func TestWaiterSurvivesLeaderCancellation(t *testing.T) {
+	// A waiter with a live context must not inherit the leader's
+	// context.Canceled — it retries the key as the new leader.
+	c := NewCache[int](NewPool(2))
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	inFn := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do(leaderCtx, "k", func(ctx context.Context) (int, error) {
+			close(inFn)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		leaderErr <- err
+	}()
+	<-inFn
+
+	waiterVal := make(chan int, 1)
+	go func() {
+		v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return 7, nil
+		})
+		if err != nil {
+			t.Error("waiter inherited leader's fate:", err)
+		}
+		waiterVal <- v
+	}()
+	time.Sleep(2 * time.Millisecond) // let the waiter join the flight
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want Canceled", err)
+	}
+	select {
+	case v := <-waiterVal:
+		if v != 7 {
+			t.Fatalf("waiter got %d, want 7 (recomputed)", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never recovered from leader cancellation")
+	}
+}
