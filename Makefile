@@ -3,10 +3,13 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build examples test race bench bench-cpacache fmt fmt-check vet staticcheck vulncheck ci
 
 build:
 	$(GO) build ./...
+
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -15,9 +18,26 @@ race:
 	$(GO) test -race ./...
 
 # One pass of every benchmark — a smoke test that the bench harness
-# still runs, not a measurement.
+# still runs, not a measurement. pkg/cpacache is excluded here because
+# bench-cpacache gives it its own (longer) smoke pass.
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x $$($(GO) list ./... | grep -v pkg/cpacache)
+
+# Quick sanity pass over the cpacache hot paths (the BENCH_cpacache.json
+# baseline uses -benchtime=1s instead).
+bench-cpacache:
+	$(GO) test -run=NONE -bench=. -benchtime=100x ./pkg/cpacache/
+
+# staticcheck / govulncheck run when installed and are skipped otherwise,
+# so `make ci` works in hermetic containers; the CI lint job always runs
+# them.
+staticcheck:
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping"; fi
 
 fmt:
 	gofmt -l -w .
@@ -29,4 +49,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet staticcheck build examples race bench bench-cpacache

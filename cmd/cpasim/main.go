@@ -21,9 +21,9 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/partition"
-	"repro/internal/replacement"
 	"repro/internal/workload"
+	"repro/pkg/cpapart"
+	"repro/pkg/plru"
 )
 
 func main() {
@@ -48,7 +48,7 @@ func main() {
 		fatal(err)
 	}
 
-	kind, err := replacement.ParseKind(*policy)
+	kind, err := plru.ParseKind(*policy)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,7 +94,7 @@ func main() {
 		fatal(err)
 	}
 	if *showParts && sys.CPA() != nil {
-		sys.CPA().OnRepartition = func(cycle uint64, alloc partition.Allocation) {
+		sys.CPA().OnRepartition = func(cycle uint64, alloc cpapart.Allocation) {
 			fmt.Printf("repartition @%d cycles: %v\n", cycle, alloc)
 		}
 	}

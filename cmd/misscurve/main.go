@@ -24,10 +24,10 @@ import (
 	"repro/internal/cache"
 	"repro/internal/experiments/sched"
 	"repro/internal/profiling"
-	"repro/internal/replacement"
 	"repro/internal/textplot"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/pkg/plru"
 )
 
 func main() {
@@ -89,10 +89,10 @@ func main() {
 func characterize(ctx context.Context, prof trace.Profile, name string, insts uint64, sets int) ([]string, error) {
 	g := trace.NewGenerator(prof, 0, workload.Seed(name), 128)
 	l1 := cache.New(cache.Config{Name: "L1", SizeBytes: 32 * 1024,
-		LineBytes: 128, Ways: 2, Policy: replacement.LRU, Cores: 1})
+		LineBytes: 128, Ways: 2, Policy: plru.LRU, Cores: 1})
 	mon := profiling.NewMonitor(profiling.Config{
 		L2Sets: sets, Ways: 16, LineBytes: 128, SampleRate: 1,
-		Kind: replacement.LRU,
+		Kind: plru.LRU,
 	})
 	var mem uint64
 	sinceCheck := 0

@@ -25,8 +25,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/replacement"
 	"repro/internal/workload"
+	"repro/pkg/plru"
 )
 
 func main() {
@@ -101,8 +101,8 @@ func main() {
 		case "table2":
 			fmt.Print(experiments.Table2())
 		case "fig6":
-			d, err := h.Fig6(ctx, []replacement.Kind{
-				replacement.LRU, replacement.NRU, replacement.BT, replacement.Random})
+			d, err := h.Fig6(ctx, []plru.Kind{
+				plru.LRU, plru.NRU, plru.BT, plru.Random})
 			endCounter()
 			if err != nil {
 				fatal(err)

@@ -19,8 +19,8 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/partition"
 	"repro/internal/workload"
+	"repro/pkg/cpapart"
 )
 
 func main() {
@@ -60,8 +60,8 @@ func main() {
 	fmt.Printf("workload %s (%s), config %s\n\n", w.Name,
 		strings.Join(w.Benchmarks, " + "), acr)
 	fmt.Println("allocation trace (one row per repartition):")
-	history := make([]partition.Allocation, 0, 16)
-	sys.CPA().OnRepartition = func(cycle uint64, alloc partition.Allocation) {
+	history := make([]cpapart.Allocation, 0, 16)
+	sys.CPA().OnRepartition = func(cycle uint64, alloc cpapart.Allocation) {
 		history = append(history, alloc)
 		fmt.Printf("  @%9d cycles: %v %s\n", cycle, alloc, allocBar(alloc))
 	}
@@ -92,7 +92,7 @@ func main() {
 
 // allocBar renders an allocation as a 16-character way map (a=core 0,
 // b=core 1, ...).
-func allocBar(alloc partition.Allocation) string {
+func allocBar(alloc cpapart.Allocation) string {
 	var sb strings.Builder
 	sb.WriteByte('[')
 	for core, ways := range alloc {

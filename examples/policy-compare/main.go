@@ -19,9 +19,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/experiments/sched"
-	"repro/internal/replacement"
 	"repro/internal/textplot"
 	"repro/internal/workload"
+	"repro/pkg/plru"
 )
 
 func main() {
@@ -36,18 +36,18 @@ func main() {
 
 	type variant struct {
 		label   string
-		policy  replacement.Kind
+		policy  plru.Kind
 		acronym string // empty = non-partitioned
 	}
 	variants := []variant{
-		{"LRU (no partitioning)", replacement.LRU, ""},
-		{"NRU (no partitioning)", replacement.NRU, ""},
-		{"BT (no partitioning)", replacement.BT, ""},
-		{"Random (no partitioning)", replacement.Random, ""},
-		{"C-L  (counters + LRU)", replacement.LRU, "C-L"},
-		{"M-L  (masks + LRU)", replacement.LRU, "M-L"},
-		{"M-0.75N (masks + NRU)", replacement.NRU, "M-0.75N"},
-		{"M-BT (up/down + BT)", replacement.BT, "M-BT"},
+		{"LRU (no partitioning)", plru.LRU, ""},
+		{"NRU (no partitioning)", plru.NRU, ""},
+		{"BT (no partitioning)", plru.BT, ""},
+		{"Random (no partitioning)", plru.Random, ""},
+		{"C-L  (counters + LRU)", plru.LRU, "C-L"},
+		{"M-L  (masks + LRU)", plru.LRU, "M-L"},
+		{"M-0.75N (masks + NRU)", plru.NRU, "M-0.75N"},
+		{"M-BT (up/down + BT)", plru.BT, "M-BT"},
 	}
 
 	// The variants are independent simulations: run them through a
@@ -93,7 +93,7 @@ func main() {
 	fmt.Print(textplot.Bars(labels, values, lo*0.95, hi*1.02, 40))
 }
 
-func run(w workload.Workload, kind replacement.Kind, acronym string) cmp.Results {
+func run(w workload.Workload, kind plru.Kind, acronym string) cmp.Results {
 	cfg := cmp.Config{
 		Workload: w,
 		L2: cache.Config{

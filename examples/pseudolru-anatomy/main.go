@@ -10,8 +10,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/partition"
-	"repro/internal/replacement"
+	"repro/pkg/cpapart"
+	"repro/pkg/plru"
 )
 
 func main() {
@@ -26,7 +26,7 @@ func main() {
 // distance 1 and register r1 is incremented.
 func figure2() {
 	fmt.Println("Figure 2: LRU stack and SDH construction")
-	p := replacement.NewLRUPolicy(1, 4)
+	p := plru.NewLRUPolicy(1, 4)
 	names := []string{"A", "B", "C", "D"}
 	// Establish A MRU ... D LRU.
 	for w := 3; w >= 0; w-- {
@@ -53,7 +53,7 @@ func figure2() {
 // figure3 shows the two NRU estimator cases on a 4-way set.
 func figure3() {
 	fmt.Println("Figure 3: NRU used-bit profiling")
-	p := replacement.NewNRUPolicy(1, 4, 1)
+	p := plru.NewNRUPolicy(1, 4, 1)
 	names := []string{"A", "B", "C", "D"}
 	bits := func() string {
 		s := ""
@@ -73,7 +73,7 @@ func figure3() {
 	u := p.UsedCount(0)
 	fmt.Printf("      re-access D: used bit already 1, U=%d -> estimated distance in [1,%d]; eSDH assumes ceil(S*U)\n", u, u)
 
-	q := replacement.NewNRUPolicy(1, 4, 1)
+	q := plru.NewNRUPolicy(1, 4, 1)
 	q.Touch(0, 0, 0)
 	q.Touch(0, 1, 0)
 	fmt.Println("  (b) access A then B: bits:", func() string {
@@ -95,7 +95,7 @@ func figure3() {
 // arithmetic, and the aliasing limitation.
 func figure4() {
 	fmt.Println("Figure 4: BT scheme, decoder, estimator, limitation")
-	p := replacement.NewBTPolicy(1, 4)
+	p := plru.NewBTPolicy(1, 4)
 	for w := 0; w < 4; w++ {
 		fmt.Printf("  way %d: ID bits %02b (decoder: the way's binary digits)\n",
 			w, p.IDBits(w))
@@ -103,7 +103,7 @@ func figure4() {
 	fmt.Println("  touch way 1, then way 2:")
 	p.Touch(0, 1, 0)
 	p.Touch(0, 2, 0)
-	v := p.Victim(0, 0, replacement.Full(4))
+	v := p.Victim(0, 0, plru.Full(4))
 	fmt.Printf("  victim walk lands on way %d (estimated stack position %d = A)\n",
 		v, p.EstStackPos(0, v))
 	for w := 0; w < 4; w++ {
@@ -127,14 +127,14 @@ func figure5() {
 	fmt.Println("   0   1  | forced to lower subtree")
 	fmt.Println("   1   1  | forbidden")
 
-	p := replacement.NewBTPolicy(1, 8)
-	blocks, err := partition.BuddyLayout([]int{4, 2, 2}, 8)
+	p := plru.NewBTPolicy(1, 8)
+	blocks, err := cpapart.BuddyLayout([]int{4, 2, 2}, 8)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("\n  buddy layout for shares [4 2 2] of an 8-way set:")
 	for core, b := range blocks {
-		up, down := partition.ForceVectors(b, 8)
+		up, down := cpapart.ForceVectors(b, 8)
 		v := p.VictimForced(0, up, down)
 		fmt.Printf("  core %d: ways %v, up=%v down=%v -> victim way %d\n",
 			core, b.Mask(), fmtBits(up), fmtBits(down), v)

@@ -20,9 +20,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/experiments/sched"
-	"repro/internal/replacement"
 	"repro/internal/textplot"
 	"repro/internal/workload"
+	"repro/pkg/plru"
 )
 
 func main() {
@@ -83,7 +83,7 @@ func runOne(w workload.Workload, goal core.Goal, qos float64, partitioned bool) 
 		Workload: w,
 		L2: cache.Config{
 			Name: "L2", SizeBytes: 512 << 10, LineBytes: 128, Ways: 16,
-			Policy: replacement.LRU, Cores: w.Threads(), Seed: 1,
+			Policy: plru.LRU, Cores: w.Threads(), Seed: 1,
 		},
 		Params:   cpu.DefaultParams(),
 		L1:       cpu.DefaultL1Config(128),

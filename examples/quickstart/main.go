@@ -14,9 +14,9 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/partition"
-	"repro/internal/replacement"
 	"repro/internal/workload"
+	"repro/pkg/cpapart"
+	"repro/pkg/plru"
 )
 
 func main() {
@@ -36,7 +36,7 @@ func main() {
 		Workload: w,
 		L2: cache.Config{
 			Name: "L2", SizeBytes: 1 << 20, LineBytes: 128, Ways: 16,
-			Policy: replacement.NRU, Cores: w.Threads(), Seed: 1,
+			Policy: plru.NRU, Cores: w.Threads(), Seed: 1,
 		},
 		CPA:      &cpaCfg,
 		Params:   cpu.DefaultParams(),
@@ -48,7 +48,7 @@ func main() {
 	}
 
 	// Watch the MinMisses decisions as the eSDH profile matures.
-	sys.CPA().OnRepartition = func(cycle uint64, alloc partition.Allocation) {
+	sys.CPA().OnRepartition = func(cycle uint64, alloc cpapart.Allocation) {
 		fmt.Printf("  cycle %8d: ways = %v\n", cycle, alloc)
 	}
 

@@ -1,370 +1,67 @@
-// Package partition implements the partition-selection side of a dynamic
-// cache partitioning algorithm: given per-thread miss curves derived from
-// (e)SDHs, choose how many ways each thread receives.
+// Package partition is a thin compatibility layer over the public
+// partition-selection algorithms in repro/pkg/cpapart. The curve-based
+// allocators (MinMisses, Lookahead, Fair, Static), the binary-buddy
+// machinery for BT enforcement and the mask conversion all live in
+// pkg/cpapart now; every identifier here is an alias or a one-line
+// delegation, so there is exactly one algorithm implementation in the
+// module.
 //
-// The paper uses MinMisses [Qureshi & Patt, MICRO'06 / Moreto et al.]:
-// assign ways so the predicted total miss count is minimal, with at least
-// one way per thread. We implement it as an exact dynamic program (cheap
-// at N ≤ 8 threads, A = 16 ways) plus the classic Lookahead greedy for
-// comparison, a Fair (equal) splitter and a Static allocator.
-//
-// For the BT enforcement, allocations must be realizable by per-level
-// up/down force vectors, which constrains each thread's share to a power
-// of two laid out on an aligned "buddy" block; BuddyMinMisses performs the
-// optimal rounding and BuddyLayout computes a concrete block placement.
+// The goal-directed IPC policies (MaxThroughput, FairSlowdown, QoS, in
+// ipc.go) remain simulator-internal: they consume the CMP model's
+// interval observations and are not part of the public API.
 package partition
 
 import (
-	"fmt"
-	"sort"
-
-	"repro/internal/replacement"
+	"repro/pkg/cpapart"
+	"repro/pkg/plru"
 )
 
-// Allocation holds the number of ways assigned to each thread.
-type Allocation []int
+// Allocation holds the number of ways assigned to each thread. See
+// cpapart.Allocation.
+type Allocation = cpapart.Allocation
 
-// Total returns the number of ways allocated in total.
-func (a Allocation) Total() int {
-	t := 0
-	for _, w := range a {
-		t += w
-	}
-	return t
-}
+// Algorithm selects an allocation from per-thread miss curves. See
+// cpapart.Algorithm.
+type Algorithm = cpapart.Algorithm
 
-// Valid reports whether the allocation gives every thread at least one
-// way and exactly `ways` in total.
-func (a Allocation) Valid(ways int) bool {
-	if a.Total() != ways {
-		return false
-	}
-	for _, w := range a {
-		if w < 1 {
-			return false
-		}
-	}
-	return true
-}
+// MinMisses is the exact dynamic-programming MinMisses policy. See
+// cpapart.MinMisses.
+type MinMisses = cpapart.MinMisses
 
-// String renders e.g. "[10 4 1 1]".
-func (a Allocation) String() string { return fmt.Sprint([]int(a)) }
+// Lookahead is the greedy marginal-utility allocator from Qureshi &
+// Patt's UCP. See cpapart.Lookahead.
+type Lookahead = cpapart.Lookahead
 
-// Algorithm selects an allocation from per-thread miss curves.
-// curves[i][w] is the predicted miss count of thread i when assigned w
-// ways (w in 0..ways); curves must be non-increasing in w.
-type Algorithm interface {
-	Name() string
-	Allocate(curves [][]uint64, ways int) Allocation
-}
+// Fair splits ways as evenly as possible. See cpapart.Fair.
+type Fair = cpapart.Fair
 
-// checkInputs validates the common Allocate preconditions.
-func checkInputs(curves [][]uint64, ways int) {
-	n := len(curves)
-	if n == 0 {
-		panic("partition: no threads")
-	}
-	if ways < n {
-		panic(fmt.Sprintf("partition: %d ways cannot give %d threads one each", ways, n))
-	}
-	for i, c := range curves {
-		if len(c) != ways+1 {
-			panic(fmt.Sprintf("partition: curve %d has %d entries, want %d", i, len(c), ways+1))
-		}
-	}
-}
+// Static always returns a fixed allocation. See cpapart.Static.
+type Static = cpapart.Static
+
+// Block is an aligned power-of-two region of ways. See cpapart.Block.
+type Block = cpapart.Block
 
 // TotalMisses evaluates an allocation against the curves.
 func TotalMisses(curves [][]uint64, a Allocation) uint64 {
-	var t uint64
-	for i, w := range a {
-		t += curves[i][w]
-	}
-	return t
+	return cpapart.TotalMisses(curves, a)
 }
 
-// MinMisses is the exact dynamic-programming MinMisses policy.
-type MinMisses struct{}
+// Masks converts an allocation into contiguous global replacement masks.
+func Masks(a Allocation, ways int) []plru.WayMask { return cpapart.Masks(a, ways) }
 
-// Name returns "MinMisses".
-func (MinMisses) Name() string { return "MinMisses" }
-
-// Allocate returns an allocation minimizing the predicted total misses
-// with >= 1 way per thread. Ties are broken toward giving earlier threads
-// fewer ways, deterministically.
-func (MinMisses) Allocate(curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	n := len(curves)
-	const inf = ^uint64(0)
-
-	// f[t][w] = min total misses over threads [0,t) using exactly w ways.
-	f := make([][]uint64, n+1)
-	choice := make([][]int, n+1)
-	for t := range f {
-		f[t] = make([]uint64, ways+1)
-		choice[t] = make([]int, ways+1)
-		for w := range f[t] {
-			f[t][w] = inf
-		}
-	}
-	f[0][0] = 0
-	for t := 1; t <= n; t++ {
-		for w := t; w <= ways; w++ { // at least 1 way per placed thread
-			for a := 1; a <= w-(t-1); a++ {
-				prev := f[t-1][w-a]
-				if prev == inf {
-					continue
-				}
-				cand := prev + curves[t-1][a]
-				if cand < f[t][w] {
-					f[t][w] = cand
-					choice[t][w] = a
-				}
-			}
-		}
-	}
-
-	alloc := make(Allocation, n)
-	w := ways
-	for t := n; t >= 1; t-- {
-		a := choice[t][w]
-		alloc[t-1] = a
-		w -= a
-	}
-	return alloc
-}
-
-// Lookahead is the greedy marginal-utility allocator from Qureshi & Patt's
-// UCP: repeatedly grant the block of ways with the highest miss reduction
-// per way.
-type Lookahead struct{}
-
-// Name returns "Lookahead".
-func (Lookahead) Name() string { return "Lookahead" }
-
-// Allocate implements the lookahead greedy loop.
-func (Lookahead) Allocate(curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	n := len(curves)
-	alloc := make(Allocation, n)
-	for i := range alloc {
-		alloc[i] = 1
-	}
-	balance := ways - n
-	for balance > 0 {
-		bestApp, bestK := 0, 1
-		bestRatio := -1.0
-		for i := 0; i < n; i++ {
-			for k := 1; k <= balance; k++ {
-				gain := float64(curves[i][alloc[i]]) - float64(curves[i][alloc[i]+k])
-				ratio := gain / float64(k)
-				if ratio > bestRatio {
-					bestRatio, bestApp, bestK = ratio, i, k
-				}
-			}
-		}
-		alloc[bestApp] += bestK
-		balance -= bestK
-	}
-	return alloc
-}
-
-// Fair splits ways as evenly as possible (remainder to lower thread ids).
-type Fair struct{}
-
-// Name returns "Fair".
-func (Fair) Name() string { return "Fair" }
-
-// Allocate ignores the curves and splits evenly.
-func (Fair) Allocate(curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	n := len(curves)
-	alloc := make(Allocation, n)
-	for i := range alloc {
-		alloc[i] = ways / n
-	}
-	for i := 0; i < ways%n; i++ {
-		alloc[i]++
-	}
-	return alloc
-}
-
-// Static always returns a fixed allocation.
-type Static struct{ Fixed Allocation }
-
-// Name returns "Static".
-func (Static) Name() string { return "Static" }
-
-// Allocate returns a copy of the fixed allocation.
-func (s Static) Allocate(curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	if !s.Fixed.Valid(ways) {
-		panic("partition: static allocation invalid for geometry")
-	}
-	return append(Allocation(nil), s.Fixed...)
-}
-
-// Masks converts an allocation into contiguous global replacement masks:
-// thread i receives alloc[i] consecutive ways starting where thread i-1's
-// share ended. Contiguity is not required by the masks hardware but keeps
-// layouts deterministic and comparable with the BT buddy layout.
-func Masks(a Allocation, ways int) []replacement.WayMask {
-	if !a.Valid(ways) {
-		panic(fmt.Sprintf("partition: allocation %v invalid for %d ways", a, ways))
-	}
-	masks := make([]replacement.WayMask, len(a))
-	lo := 0
-	for i, w := range a {
-		for k := 0; k < w; k++ {
-			masks[i] = masks[i].With(lo + k)
-		}
-		lo += w
-	}
-	return masks
-}
-
-// ----- Binary-buddy support for BT enforcement -----
-
-// Block is an aligned region of ways [Lo, Lo+Size) with Size a power of
-// two and Lo a multiple of Size.
-type Block struct{ Lo, Size int }
-
-// Mask returns the block as a way mask.
-func (b Block) Mask() replacement.WayMask {
-	return replacement.Full(b.Lo+b.Size) &^ replacement.Full(b.Lo)
-}
-
-// BuddyMinMisses returns the allocation minimizing predicted misses under
-// the BT constraint that every share is a power of two (and the shares sum
-// to `ways`, which must itself be a power of two).
+// BuddyMinMisses returns the miss-minimizing allocation under the BT
+// power-of-two buddy constraint.
 func BuddyMinMisses(curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	if ways&(ways-1) != 0 {
-		panic("partition: buddy allocation requires power-of-two ways")
-	}
-	n := len(curves)
-	const inf = ^uint64(0)
-	var sizes []int
-	for s := 1; s <= ways; s *= 2 {
-		sizes = append(sizes, s)
-	}
-	f := make([][]uint64, n+1)
-	choice := make([][]int, n+1)
-	for t := range f {
-		f[t] = make([]uint64, ways+1)
-		choice[t] = make([]int, ways+1)
-		for w := range f[t] {
-			f[t][w] = inf
-		}
-	}
-	f[0][0] = 0
-	for t := 1; t <= n; t++ {
-		for w := 0; w <= ways; w++ {
-			for _, s := range sizes {
-				if s > w {
-					break
-				}
-				prev := f[t-1][w-s]
-				if prev == inf {
-					continue
-				}
-				cand := prev + curves[t-1][s]
-				if cand < f[t][w] {
-					f[t][w] = cand
-					choice[t][w] = s
-				}
-			}
-		}
-	}
-	if f[n][ways] == inf {
-		panic("partition: no buddy allocation exists (too many threads for ways?)")
-	}
-	alloc := make(Allocation, n)
-	w := ways
-	for t := n; t >= 1; t-- {
-		s := choice[t][w]
-		alloc[t-1] = s
-		w -= s
-	}
-	return alloc
+	return cpapart.BuddyMinMisses(curves, ways)
 }
 
-// BuddyLayout places power-of-two shares onto disjoint aligned blocks of a
-// `ways`-way set. A multiset of powers of two summing to `ways` always
-// packs (largest-first into a buddy free list); BuddyLayout returns an
-// error only on invalid inputs.
+// BuddyLayout places power-of-two shares onto disjoint aligned blocks.
 func BuddyLayout(sizes []int, ways int) ([]Block, error) {
-	if ways <= 0 || ways&(ways-1) != 0 {
-		return nil, fmt.Errorf("partition: ways %d not a power of two", ways)
-	}
-	total := 0
-	for _, s := range sizes {
-		if s <= 0 || s&(s-1) != 0 {
-			return nil, fmt.Errorf("partition: share %d not a power of two", s)
-		}
-		total += s
-	}
-	if total != ways {
-		return nil, fmt.Errorf("partition: shares sum to %d, want %d", total, ways)
-	}
-
-	// Sort indices by size descending (stable on index for determinism).
-	idx := make([]int, len(sizes))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] > sizes[idx[b]] })
-
-	free := []Block{{Lo: 0, Size: ways}} // kept sorted by Lo
-	blocks := make([]Block, len(sizes))
-	for _, i := range idx {
-		want := sizes[i]
-		// Find the smallest free block that fits, lowest address first.
-		best := -1
-		for j, b := range free {
-			if b.Size >= want && (best < 0 || b.Size < free[best].Size ||
-				(b.Size == free[best].Size && b.Lo < free[best].Lo)) {
-				best = j
-			}
-		}
-		if best < 0 {
-			return nil, fmt.Errorf("partition: internal packing failure for sizes %v", sizes)
-		}
-		b := free[best]
-		free = append(free[:best], free[best+1:]...)
-		// Split down to the wanted size, returning the upper halves.
-		for b.Size > want {
-			half := b.Size / 2
-			free = append(free, Block{Lo: b.Lo + half, Size: half})
-			b.Size = half
-		}
-		blocks[i] = b
-		sort.Slice(free, func(a, c int) bool { return free[a].Lo < free[c].Lo })
-	}
-	return blocks, nil
+	return cpapart.BuddyLayout(sizes, ways)
 }
 
 // ForceVectors converts an aligned block into the paper's per-level
-// up/down force vectors for a BT of the given associativity: levels above
-// the block's subtree are forced toward it and levels inside are free.
+// up/down force vectors for a BT of the given associativity.
 func ForceVectors(b Block, ways int) (up, down []bool) {
-	levels := 0
-	for 1<<uint(levels) < ways {
-		levels++
-	}
-	up = make([]bool, levels)
-	down = make([]bool, levels)
-	span := ways
-	base := 0
-	for d := 0; d < levels && span > b.Size; d++ {
-		mid := base + span/2
-		if b.Lo < mid {
-			up[d] = true
-		} else {
-			down[d] = true
-			base = mid
-		}
-		span /= 2
-	}
-	return up, down
+	return cpapart.ForceVectors(b, ways)
 }

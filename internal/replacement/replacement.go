@@ -1,172 +1,76 @@
-// Package replacement implements the cache replacement policies studied by
-// the paper — true LRU, NRU (Not Recently Used, as in the Sun UltraSPARC
-// T2) and BT (Binary Tree pseudo-LRU, as in IBM designs) — plus a Random
-// reference policy.
+// Package replacement is a thin compatibility layer over the public policy
+// engine in repro/pkg/plru. The LRU/NRU/BT/Random implementations,
+// originally developed here for the paper reproduction, now live in
+// pkg/plru so external users can import them; every identifier in this
+// package is an alias or a one-line delegation, so there is exactly one
+// policy implementation in the module.
 //
-// Every policy manages the recency state for all sets of one cache and
-// supports partition-aware victim selection: Victim takes a WayMask that
-// restricts which ways may be evicted, which is how the paper's "global
-// replacement masks" enforcement works. The BT policy additionally exposes
-// the paper's per-level up/down force vectors (VictimForced), and each
-// policy exposes the introspection the corresponding profiling logic needs
-// (LRU stack distance, NRU used-bit counts, BT path bits).
+// Simulator-internal code keeps importing this package; new code (and
+// anything outside the module) should import repro/pkg/plru directly.
+// The golden-sequence test in this package pins the delegating engine to
+// the pre-refactor behavior step for step.
 package replacement
 
-import (
-	"fmt"
-	"math/bits"
-)
+import "repro/pkg/plru"
 
-// Kind identifies a replacement policy family.
-type Kind int
+// Kind identifies a replacement policy family. See plru.Kind.
+type Kind = plru.Kind
 
 // The replacement policy families used in the paper's evaluation.
 const (
-	LRU    Kind = iota // true Least Recently Used
-	NRU                // Not Recently Used (used bit + global replacement pointer)
-	BT                 // Binary Tree pseudo-LRU
-	Random             // uniform random victim (reference)
+	LRU    = plru.LRU    // true Least Recently Used
+	NRU    = plru.NRU    // Not Recently Used (used bit + global replacement pointer)
+	BT     = plru.BT     // Binary Tree pseudo-LRU
+	Random = plru.Random // uniform random victim (reference)
 )
-
-// String returns the conventional short name of the policy kind.
-func (k Kind) String() string {
-	switch k {
-	case LRU:
-		return "LRU"
-	case NRU:
-		return "NRU"
-	case BT:
-		return "BT"
-	case Random:
-		return "Random"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
 
 // ParseKind converts a policy name ("LRU", "NRU", "BT", "Random",
 // case-sensitive) into a Kind.
-func ParseKind(s string) (Kind, error) {
-	switch s {
-	case "LRU":
-		return LRU, nil
-	case "NRU":
-		return NRU, nil
-	case "BT":
-		return BT, nil
-	case "Random":
-		return Random, nil
-	}
-	return 0, fmt.Errorf("replacement: unknown policy %q", s)
-}
+func ParseKind(s string) (Kind, error) { return plru.ParseKind(s) }
 
-// WayMask is a bitmask over cache ways; bit w set means way w is included.
-// The zero mask is "no ways"; use Full for "all ways".
-type WayMask uint64
+// WayMask is a bitmask over cache ways. See plru.WayMask.
+type WayMask = plru.WayMask
 
 // MaxWays is the largest associativity a WayMask can describe.
-const MaxWays = 64
+const MaxWays = plru.MaxWays
 
 // Full returns a mask with the low `ways` bits set.
-func Full(ways int) WayMask {
-	if ways <= 0 {
-		return 0
-	}
-	if ways >= MaxWays {
-		return ^WayMask(0)
-	}
-	return WayMask(1)<<uint(ways) - 1
-}
-
-// Has reports whether way w is in the mask.
-func (m WayMask) Has(w int) bool { return m&(1<<uint(w)) != 0 }
-
-// With returns the mask with way w added.
-func (m WayMask) With(w int) WayMask { return m | 1<<uint(w) }
-
-// Without returns the mask with way w removed.
-func (m WayMask) Without(w int) WayMask { return m &^ (1 << uint(w)) }
-
-// Count returns the number of ways in the mask.
-func (m WayMask) Count() int { return bits.OnesCount64(uint64(m)) }
-
-// Ways returns the way indices in the mask in ascending order.
-func (m WayMask) Ways() []int {
-	out := make([]int, 0, m.Count())
-	for v := uint64(m); v != 0; {
-		w := bits.TrailingZeros64(v)
-		out = append(out, w)
-		v &^= 1 << uint(w)
-	}
-	return out
-}
-
-// String renders the mask as e.g. "{0,1,5}".
-func (m WayMask) String() string {
-	ws := m.Ways()
-	s := "{"
-	for i, w := range ws {
-		if i > 0 {
-			s += ","
-		}
-		s += fmt.Sprint(w)
-	}
-	return s + "}"
-}
+func Full(ways int) WayMask { return plru.Full(ways) }
 
 // Policy is the common behavior of a replacement policy instance covering
-// every set of one cache.
-type Policy interface {
-	// Kind identifies the policy family.
-	Kind() Kind
-	// Ways returns the cache associativity the policy was built for.
-	Ways() int
-	// Sets returns the number of sets the policy tracks.
-	Sets() int
-	// Touch records an access — hit or fill — to way `way` of set `set`
-	// by core `core`, updating the recency state.
-	Touch(set, way, core int)
-	// Victim selects the way to evict in `set` for `core`, restricted to
-	// the allowed mask. The mask must be non-empty; Victim panics on an
-	// empty mask because that is always a caller bug.
-	Victim(set, core int, allowed WayMask) int
-	// SetPartition installs per-core way masks that scope NRU's used-bit
-	// reset rule (and are available to any policy that wants partition
-	// awareness on hits). A nil slice returns to unpartitioned behavior.
-	SetPartition(masks []WayMask)
+// every set of one cache. See plru.Policy.
+type Policy = plru.Policy
+
+// LRUPolicy is the exact Least Recently Used policy. See plru.LRUPolicy.
+type LRUPolicy = plru.LRUPolicy
+
+// NRUPolicy is the UltraSPARC T2 Not Recently Used policy. See
+// plru.NRUPolicy.
+type NRUPolicy = plru.NRUPolicy
+
+// BTPolicy is the Binary Tree pseudo-LRU policy. See plru.BTPolicy.
+type BTPolicy = plru.BTPolicy
+
+// RandomPolicy is the uniform-random reference policy. See
+// plru.RandomPolicy.
+type RandomPolicy = plru.RandomPolicy
+
+// NewLRUPolicy returns an LRU policy for the given geometry.
+func NewLRUPolicy(sets, ways int) *LRUPolicy { return plru.NewLRUPolicy(sets, ways) }
+
+// NewNRUPolicy returns an NRU policy for the given geometry.
+func NewNRUPolicy(sets, ways, cores int) *NRUPolicy { return plru.NewNRUPolicy(sets, ways, cores) }
+
+// NewBTPolicy returns a BT policy; ways must be a power of two.
+func NewBTPolicy(sets, ways int) *BTPolicy { return plru.NewBTPolicy(sets, ways) }
+
+// NewRandomPolicy returns a Random policy seeded deterministically.
+func NewRandomPolicy(sets, ways int, seed uint64) *RandomPolicy {
+	return plru.NewRandomPolicy(sets, ways, seed)
 }
 
 // New constructs a policy of the given kind for a cache with `sets` sets,
 // `ways` ways and `cores` sharer cores. The seed is used only by Random.
 func New(kind Kind, sets, ways, cores int, seed uint64) Policy {
-	switch kind {
-	case LRU:
-		return NewLRUPolicy(sets, ways)
-	case NRU:
-		return NewNRUPolicy(sets, ways, cores)
-	case BT:
-		return NewBTPolicy(sets, ways)
-	case Random:
-		return NewRandomPolicy(sets, ways, seed)
-	default:
-		panic(fmt.Sprintf("replacement: unknown kind %d", kind))
-	}
-}
-
-func validateGeometry(sets, ways int) {
-	if sets <= 0 {
-		panic("replacement: sets must be positive")
-	}
-	if ways <= 0 || ways > MaxWays {
-		panic(fmt.Sprintf("replacement: ways must be in [1,%d]", MaxWays))
-	}
-}
-
-func checkVictimArgs(p Policy, set int, allowed WayMask) {
-	if set < 0 || set >= p.Sets() {
-		panic(fmt.Sprintf("replacement: set %d out of range [0,%d)", set, p.Sets()))
-	}
-	if allowed&Full(p.Ways()) == 0 {
-		panic("replacement: Victim called with empty allowed mask")
-	}
+	return plru.New(kind, sets, ways, cores, seed)
 }

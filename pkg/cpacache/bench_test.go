@@ -1,0 +1,96 @@
+package cpacache
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/plru"
+)
+
+// newBenchCache builds the geometry used by every cpacache benchmark (and
+// by the BENCH_cpacache.json baseline): 8 shards × 256 sets × 8 ways.
+func newBenchCache(b *testing.B, policy plru.Kind, tenants int) *Cache[uint64, uint64] {
+	b.Helper()
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(policy), WithPartitions(tenants),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkGetHit measures the single-threaded lookup hot path on a warm
+// cache. It must stay allocation-free.
+func BenchmarkGetHit(b *testing.B) {
+	c := newBenchCache(b, plru.BT, 1)
+	const keys = 1024
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(uint64(i) % keys)
+	}
+}
+
+// BenchmarkSetChurn measures inserts that continuously evict (key space
+// far beyond capacity), exercising victim selection every time.
+func BenchmarkSetChurn(b *testing.B) {
+	for _, pol := range []plru.Kind{plru.BT, plru.NRU, plru.LRU} {
+		b.Run(pol.String(), func(b *testing.B) {
+			c := newBenchCache(b, pol, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i)
+				c.Set(k, k)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGetSet is the sharded concurrent hot path: every
+// goroutine mixes 90% lookups with 10% inserts over a working set about
+// 2× capacity, across 4 tenants. This is the number BENCH_cpacache.json
+// tracks for the per-op perf trajectory.
+func BenchmarkParallelGetSet(b *testing.B) {
+	c := newBenchCache(b, plru.BT, 4)
+	const keySpace = 32_768
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tenant := int(ctr.Add(1)) % 4
+		rng := ctr.Load()*0x9E3779B97F4A7C15 + 1
+		for pb.Next() {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			k := rng % keySpace
+			if rng%10 == 0 {
+				c.SetTenant(tenant, k, k)
+			} else if v, ok := c.GetTenant(tenant, k); ok && v != k {
+				b.Error("corrupted value")
+			}
+		}
+	})
+}
+
+// BenchmarkRebalance measures a full profile-aggregate + MinMisses +
+// mask-install cycle, the control-plane cost paid per repartition interval.
+func BenchmarkRebalance(b *testing.B) {
+	c := newBenchCache(b, plru.BT, 4)
+	for k := uint64(0); k < 16_384; k++ {
+		c.GetTenant(int(k)%4, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Rebalance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

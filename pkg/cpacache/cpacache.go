@@ -1,0 +1,452 @@
+// Package cpacache is a generic, sharded, goroutine-safe in-process cache
+// whose eviction engine is the pseudo-LRU policy machinery of
+// repro/pkg/plru and whose multi-tenant quota enforcement is the
+// way-partitioning scheme of Kedzierski et al., "Adapting cache
+// partitioning algorithms to pseudo-LRU replacement policies" (IPDPS
+// 2010): each tenant owns a quota of ways per set, enforced through
+// replacement masks at victim-selection time, while hits remain global —
+// exactly the paper's "global replacement masks" design, in software.
+//
+// A Cache is built with functional options:
+//
+//	c, err := cpacache.New[string, []byte](
+//	        cpacache.WithShards(8),
+//	        cpacache.WithSets(1024),
+//	        cpacache.WithWays(16),
+//	        cpacache.WithPolicy(plru.BT),
+//	        cpacache.WithPartitions(3),
+//	        cpacache.WithOnEvict(func(k string, v []byte) { pool.Put(v) }),
+//	)
+//
+// Tenant quotas start as an even split and can be changed at any time with
+// SetQuotas, or rebalanced online from the observed per-tenant hit curves
+// with Rebalance, which runs the paper's partitioning algorithms (exact
+// MinMisses, or the binary-buddy variant under BT) from repro/pkg/cpapart
+// over stack-distance profiles sampled UMON-style on a subset of sets.
+//
+// All methods are safe for concurrent use. The per-operation hot path
+// takes exactly one shard mutex and performs no heap allocation.
+package cpacache
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"repro/pkg/cpapart"
+	"repro/pkg/plru"
+)
+
+// Cache is a sharded, set-associative, partition-aware in-process cache.
+// The zero value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	shards  []shard[K, V]
+	seed    maphash.Seed
+	sets    int // per shard
+	ways    int
+	tenants int
+	policy  plru.Kind
+	onEvict func(K, V)
+
+	// quotaMu serializes quota changes (SetQuotas / Rebalance); shard
+	// locks alone protect the per-shard mask copies.
+	quotaMu sync.Mutex
+	quotas  []int
+}
+
+// shard is one independently locked slice of the cache: sets×ways slots
+// plus its own policy instance and UMON-style profiler.
+type shard[K comparable, V any] struct {
+	mu    sync.Mutex
+	pol   plru.Policy
+	keys  []K
+	vals  []V
+	owner []int16 // tenant that filled the slot, -1 when empty
+	masks []plru.WayMask
+	live  int
+	stats []TenantStats
+	prof  profiler[K]
+	_     [8]uint64 // keep adjacent shards off one another's cache lines
+}
+
+// TenantStats counts one tenant's cache traffic.
+type TenantStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // lines this tenant had inserted that were displaced
+}
+
+// add accumulates o into s.
+func (s *TenantStats) add(o TenantStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any access.
+func (s TenantStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// New builds a Cache from the options. The defaults are 1 shard, 64 sets,
+// 8 ways, plru.BT replacement and a single tenant owning every way.
+func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
+	s, err := newSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	var onEvict func(K, V)
+	if s.onEvict != nil {
+		fn, ok := s.onEvict.(func(K, V))
+		if !ok {
+			return nil, fmt.Errorf("cpacache: WithOnEvict callback is %T, want func(K, V) matching the cache's type parameters", s.onEvict)
+		}
+		onEvict = fn
+	}
+	c := &Cache[K, V]{
+		shards:  make([]shard[K, V], s.shards),
+		seed:    maphash.MakeSeed(),
+		sets:    s.sets,
+		ways:    s.ways,
+		tenants: s.tenants,
+		policy:  s.policy,
+		onEvict: onEvict,
+		quotas:  evenQuotas(s.tenants, s.ways),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.pol = plru.New(s.policy, s.sets, s.ways, s.tenants, s.seed+uint64(i))
+		sh.keys = make([]K, s.sets*s.ways)
+		sh.vals = make([]V, s.sets*s.ways)
+		sh.owner = make([]int16, s.sets*s.ways)
+		for j := range sh.owner {
+			sh.owner[j] = -1
+		}
+		sh.masks = make([]plru.WayMask, s.tenants)
+		sh.stats = make([]TenantStats, s.tenants)
+		sh.prof.init(s.sets, s.ways, s.tenants, s.sampleEvery)
+	}
+	if err := c.SetQuotas(c.quotas); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// evenQuotas splits ways evenly, remainder to lower tenant ids (the Fair
+// allocator's layout).
+func evenQuotas(tenants, ways int) []int {
+	q := make([]int, tenants)
+	for i := range q {
+		q[i] = ways / tenants
+	}
+	for i := 0; i < ways%tenants; i++ {
+		q[i]++
+	}
+	return q
+}
+
+// locate splits a key's hash into a shard index and a set index.
+func (c *Cache[K, V]) locate(key K) (*shard[K, V], int) {
+	h := maphash.Comparable(c.seed, key)
+	sh := &c.shards[h&uint64(len(c.shards)-1)]
+	set := int((h >> 32) % uint64(c.sets))
+	return sh, set
+}
+
+func (c *Cache[K, V]) checkTenant(tenant int) {
+	if tenant < 0 || tenant >= c.tenants {
+		panic(fmt.Sprintf("cpacache: tenant %d out of range [0,%d)", tenant, c.tenants))
+	}
+}
+
+// Get looks up key on behalf of tenant 0.
+func (c *Cache[K, V]) Get(key K) (V, bool) { return c.GetTenant(0, key) }
+
+// Set inserts or updates key on behalf of tenant 0.
+func (c *Cache[K, V]) Set(key K, value V) { c.SetTenant(0, key, value) }
+
+// GetTenant looks up key on behalf of the given tenant. A hit refreshes
+// the line's recency regardless of which tenant inserted it (hits are
+// global, as in the paper); a miss only records stats and the profile —
+// the caller decides whether to SetTenant the value afterwards.
+func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
+	c.checkTenant(tenant)
+	sh, set := c.locate(key)
+	base := set * c.ways
+
+	sh.mu.Lock()
+	sh.prof.record(set, tenant, key)
+	for w := 0; w < c.ways; w++ {
+		if sh.owner[base+w] >= 0 && sh.keys[base+w] == key {
+			sh.stats[tenant].Hits++
+			sh.pol.Touch(set, w, tenant)
+			v := sh.vals[base+w]
+			sh.mu.Unlock()
+			return v, true
+		}
+	}
+	sh.stats[tenant].Misses++
+	sh.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
+// SetTenant inserts or updates key on behalf of the given tenant. On
+// insertion into a full set the victim is chosen by the replacement policy
+// restricted to the tenant's way quota mask, so one tenant's fills can
+// never displace more lines than its quota allows. The OnEvict callback,
+// if configured, runs after the shard lock is released.
+func (c *Cache[K, V]) SetTenant(tenant int, key K, value V) {
+	c.checkTenant(tenant)
+	sh, set := c.locate(key)
+	base := set * c.ways
+
+	var (
+		evKey K
+		evVal V
+		ev    bool
+	)
+	sh.mu.Lock()
+	// Update in place on a hit, wherever the line lives.
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if sh.owner[base+w] >= 0 && sh.keys[base+w] == key {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		mask := sh.masks[tenant]
+		// Prefer an empty slot inside the tenant's own partition…
+		for v := mask; v != 0; {
+			w := v.Nth(0)
+			v = v.Without(w)
+			if sh.owner[base+w] < 0 {
+				way = w
+				break
+			}
+		}
+		if way < 0 {
+			// …then anywhere in the set: filling unowned empty ways does
+			// not displace anyone, so quotas are not violated.
+			for w := 0; w < c.ways; w++ {
+				if sh.owner[base+w] < 0 {
+					way = w
+					break
+				}
+			}
+		}
+		if way < 0 {
+			way = sh.pol.Victim(set, tenant, mask)
+			evKey, evVal, ev = sh.keys[base+way], sh.vals[base+way], true
+			sh.stats[sh.owner[base+way]].Evictions++
+			sh.live--
+		}
+		sh.live++
+	}
+	sh.keys[base+way] = key
+	sh.vals[base+way] = value
+	sh.owner[base+way] = int16(tenant)
+	sh.pol.Touch(set, way, tenant)
+	sh.mu.Unlock()
+
+	if ev && c.onEvict != nil {
+		c.onEvict(evKey, evVal)
+	}
+}
+
+// Delete removes key from the cache and reports whether it was present.
+// Delete never triggers OnEvict (that callback is reserved for capacity
+// evictions).
+func (c *Cache[K, V]) Delete(key K) bool {
+	sh, set := c.locate(key)
+	base := set * c.ways
+	var zeroK K
+	var zeroV V
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for w := 0; w < c.ways; w++ {
+		if sh.owner[base+w] >= 0 && sh.keys[base+w] == key {
+			sh.keys[base+w] = zeroK
+			sh.vals[base+w] = zeroV
+			sh.owner[base+w] = -1
+			sh.live--
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of live entries across all shards.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.live
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the maximum number of entries (shards × sets × ways).
+func (c *Cache[K, V]) Capacity() int { return len(c.shards) * c.sets * c.ways }
+
+// Ways returns the per-set associativity.
+func (c *Cache[K, V]) Ways() int { return c.ways }
+
+// Sets returns the number of sets per shard.
+func (c *Cache[K, V]) Sets() int { return c.sets }
+
+// Shards returns the number of independently locked shards.
+func (c *Cache[K, V]) Shards() int { return len(c.shards) }
+
+// Tenants returns the number of partitions the cache was built with.
+func (c *Cache[K, V]) Tenants() int { return c.tenants }
+
+// Policy returns the replacement policy family in use.
+func (c *Cache[K, V]) Policy() plru.Kind { return c.policy }
+
+// Quotas returns a copy of the current per-tenant way quotas.
+func (c *Cache[K, V]) Quotas() []int {
+	c.quotaMu.Lock()
+	defer c.quotaMu.Unlock()
+	return append([]int(nil), c.quotas...)
+}
+
+// Stats returns per-tenant counters aggregated over all shards.
+func (c *Cache[K, V]) Stats() []TenantStats {
+	out := make([]TenantStats, c.tenants)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for t := range out {
+			out[t].add(sh.stats[t])
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SetQuotas installs per-tenant way quotas: quotas[t] ways for tenant t,
+// each at least 1, summing to Ways(). Under the BT policy quotas that are
+// all powers of two are laid out on aligned buddy blocks (realizable by
+// the paper's up/down force vectors); any other layout falls back to
+// contiguous masks, which every policy enforces through the Victim mask
+// walk. Lines already resident outside their tenant's new partition stay
+// readable (hits are global) and age out through replacement.
+func (c *Cache[K, V]) SetQuotas(quotas []int) error {
+	c.quotaMu.Lock()
+	defer c.quotaMu.Unlock()
+	return c.setQuotasLocked(quotas)
+}
+
+// setQuotasLocked installs quotas and their masks on every shard. The
+// caller must hold quotaMu: holding it across the whole install keeps
+// every shard on the same partition layout when quota changes race.
+func (c *Cache[K, V]) setQuotasLocked(quotas []int) error {
+	masks, err := c.masksFor(quotas)
+	if err != nil {
+		return err
+	}
+	c.quotas = append(c.quotas[:0], quotas...)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		copy(sh.masks, masks)
+		sh.pol.SetPartition(masks)
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// masksFor validates quotas and converts them to per-tenant way masks.
+func (c *Cache[K, V]) masksFor(quotas []int) ([]plru.WayMask, error) {
+	if len(quotas) != c.tenants {
+		return nil, fmt.Errorf("cpacache: got %d quotas for %d tenants", len(quotas), c.tenants)
+	}
+	alloc := cpapart.Allocation(quotas)
+	if !alloc.Valid(c.ways) {
+		return nil, fmt.Errorf("cpacache: quotas %v must each be >= 1 and sum to %d ways", quotas, c.ways)
+	}
+	if c.policy == plru.BT && allPowersOfTwo(quotas) {
+		blocks, err := cpapart.BuddyLayout(quotas, c.ways)
+		if err != nil {
+			return nil, fmt.Errorf("cpacache: buddy layout: %w", err)
+		}
+		masks := make([]plru.WayMask, len(blocks))
+		for i, b := range blocks {
+			masks[i] = b.Mask()
+		}
+		return masks, nil
+	}
+	return cpapart.Masks(alloc, c.ways), nil
+}
+
+func allPowersOfTwo(qs []int) bool {
+	for _, q := range qs {
+		if q <= 0 || q&(q-1) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MissCurves returns, for every tenant, the predicted number of profiled
+// misses as a function of assigned ways (index 0..Ways()), aggregated over
+// every shard's sampled sets since the last Rebalance (or construction).
+// The profile is fed by lookup traffic (GetTenant/Get); the usual
+// Get-miss-then-Set flow is therefore counted exactly once per access.
+// The curves are in sampled units — comparable across tenants, which is
+// all the cpapart allocators need.
+func (c *Cache[K, V]) MissCurves() [][]uint64 {
+	curves := make([][]uint64, c.tenants)
+	for t := range curves {
+		curves[t] = make([]uint64, c.ways+1)
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.prof.addCurves(curves)
+		sh.mu.Unlock()
+	}
+	return curves
+}
+
+// Rebalance recomputes the per-tenant quotas from the miss curves observed
+// since the previous Rebalance, installs them, resets the profile for the
+// next interval and returns the new quotas. It runs cpapart.MinMisses
+// (exact DP), or cpapart.BuddyMinMisses under BT so the result stays
+// realizable by force vectors — the paper's repartitioning step, with the
+// profile interval chosen by the caller's Rebalance cadence. With a single
+// tenant Rebalance is a no-op that still resets the profile.
+func (c *Cache[K, V]) Rebalance() ([]int, error) {
+	// quotaMu spans the whole profile-read + allocate + install cycle so
+	// concurrent Rebalance/SetQuotas calls serialize as units (shard locks
+	// are only ever taken inside quotaMu, never the other way around).
+	c.quotaMu.Lock()
+	defer c.quotaMu.Unlock()
+	curves := c.MissCurves()
+	var alloc cpapart.Allocation
+	if c.tenants == 1 {
+		alloc = cpapart.Allocation{c.ways}
+	} else if c.policy == plru.BT {
+		alloc = cpapart.BuddyMinMisses(curves, c.ways)
+	} else {
+		alloc = cpapart.MinMisses{}.Allocate(curves, c.ways)
+	}
+	if err := c.setQuotasLocked(alloc); err != nil {
+		return nil, err
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.prof.reset()
+		sh.mu.Unlock()
+	}
+	return alloc, nil
+}

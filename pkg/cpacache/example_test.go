@@ -1,0 +1,48 @@
+package cpacache_test
+
+import (
+	"fmt"
+
+	"repro/pkg/cpacache"
+	"repro/pkg/plru"
+)
+
+// Two tenants share one cache: tenant 0 cycles a large working set,
+// tenant 1 a single hot key. Rebalance observes their hit curves and
+// moves ways toward the tenant that benefits, exactly like the paper's
+// repartitioning step.
+func Example() {
+	c, err := cpacache.New[string, int](
+		cpacache.WithShards(1),
+		cpacache.WithSets(1),
+		cpacache.WithWays(8),
+		cpacache.WithPolicy(plru.LRU),
+		cpacache.WithPartitions(2),
+		cpacache.WithProfileSampling(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("initial quotas:", c.Quotas())
+
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 7; i++ {
+			key := fmt.Sprintf("big-%d", i)
+			if _, ok := c.GetTenant(0, key); !ok {
+				c.SetTenant(0, key, i)
+			}
+		}
+		if _, ok := c.GetTenant(1, "hot"); !ok {
+			c.SetTenant(1, "hot", 0)
+		}
+	}
+
+	quotas, err := c.Rebalance()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rebalanced quotas:", quotas)
+	// Output:
+	// initial quotas: [4 4]
+	// rebalanced quotas: [7 1]
+}

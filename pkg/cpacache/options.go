@@ -1,0 +1,124 @@
+package cpacache
+
+import (
+	"fmt"
+
+	"repro/pkg/plru"
+)
+
+// settings collects everything the options configure. The OnEvict
+// callback is held as `any` so that plain options stay non-generic; New
+// type-asserts it against the cache's own type parameters.
+type settings struct {
+	shards      int
+	sets        int
+	ways        int
+	policy      plru.Kind
+	tenants     int
+	sampleEvery int
+	seed        uint64
+	onEvict     any
+}
+
+// Option configures a Cache under construction. Options are shared across
+// all Cache instantiations; only WithOnEvict is generic.
+type Option interface {
+	apply(*settings) error
+}
+
+type optionFunc func(*settings) error
+
+func (f optionFunc) apply(s *settings) error { return f(s) }
+
+func newSettings(opts []Option) (settings, error) {
+	s := settings{
+		shards:      1,
+		sets:        64,
+		ways:        8,
+		policy:      plru.BT,
+		tenants:     1,
+		sampleEvery: 8,
+		seed:        1,
+	}
+	for _, o := range opts {
+		if err := o.apply(&s); err != nil {
+			return settings{}, err
+		}
+	}
+	if s.shards <= 0 || s.shards&(s.shards-1) != 0 {
+		return settings{}, fmt.Errorf("cpacache: shards must be a positive power of two, got %d", s.shards)
+	}
+	if s.sets <= 0 {
+		return settings{}, fmt.Errorf("cpacache: sets must be positive, got %d", s.sets)
+	}
+	if s.ways <= 0 || s.ways > plru.MaxWays {
+		return settings{}, fmt.Errorf("cpacache: ways must be in [1,%d], got %d", plru.MaxWays, s.ways)
+	}
+	if s.policy == plru.BT && s.ways&(s.ways-1) != 0 {
+		return settings{}, fmt.Errorf("cpacache: the BT policy needs power-of-two ways, got %d", s.ways)
+	}
+	if s.tenants < 1 || s.tenants > s.ways {
+		return settings{}, fmt.Errorf("cpacache: tenants must be in [1,ways]=[1,%d], got %d", s.ways, s.tenants)
+	}
+	if s.sampleEvery <= 0 {
+		return settings{}, fmt.Errorf("cpacache: profile sampling rate must be positive, got %d", s.sampleEvery)
+	}
+	return s, nil
+}
+
+// WithShards sets the number of independently locked shards (a power of
+// two; default 1). More shards means less lock contention for concurrent
+// workloads; total capacity scales with the shard count.
+func WithShards(n int) Option {
+	return optionFunc(func(s *settings) error { s.shards = n; return nil })
+}
+
+// WithSets sets the number of sets per shard (default 64). Total capacity
+// is shards × sets × ways.
+func WithSets(n int) Option {
+	return optionFunc(func(s *settings) error { s.sets = n; return nil })
+}
+
+// WithWays sets the per-set associativity (default 8, at most
+// plru.MaxWays). Way quotas are carved out of this associativity, so the
+// number of tenants may not exceed it.
+func WithWays(n int) Option {
+	return optionFunc(func(s *settings) error { s.ways = n; return nil })
+}
+
+// WithPolicy selects the replacement policy family (default plru.BT —
+// the cheapest state per set; plru.LRU gives exact recency, plru.NRU the
+// UltraSPARC T2 scheme, plru.Random a baseline).
+func WithPolicy(k plru.Kind) Option {
+	return optionFunc(func(s *settings) error { s.policy = k; return nil })
+}
+
+// WithPartitions sets the number of tenants sharing the cache (default 1).
+// Each tenant starts with an even share of the ways; change shares with
+// SetQuotas or Rebalance. Tenant ids passed to GetTenant/SetTenant must be
+// in [0, tenants).
+func WithPartitions(tenants int) Option {
+	return optionFunc(func(s *settings) error { s.tenants = tenants; return nil })
+}
+
+// WithProfileSampling profiles one in every n sets per shard for the
+// Rebalance miss curves (default 8). Larger n is cheaper and noisier;
+// n = 1 profiles every set.
+func WithProfileSampling(n int) Option {
+	return optionFunc(func(s *settings) error { s.sampleEvery = n; return nil })
+}
+
+// WithSeed fixes the hash-independent randomness (the Random policy's RNG
+// stream; default 1). The key-to-set hash is always freshly seeded per
+// Cache and is not affected.
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(s *settings) error { s.seed = seed; return nil })
+}
+
+// WithOnEvict installs a callback invoked — outside the shard lock —
+// whenever a live entry is displaced by a capacity eviction (never by
+// Delete). K and V must match the type parameters the Cache is built
+// with; New reports an error otherwise.
+func WithOnEvict[K comparable, V any](fn func(key K, value V)) Option {
+	return optionFunc(func(s *settings) error { s.onEvict = fn; return nil })
+}

@@ -1,0 +1,142 @@
+package cpacache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/plru"
+)
+
+// TestConcurrentStress hammers a sharded cache from many goroutines doing
+// mixed Get/Set/Delete traffic across tenants while another goroutine
+// rebalances quotas and reads stats. It exists to run under -race (the CI
+// test step) and to check invariants survive heavy interleaving.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers   = 8
+		opsPerG   = 20_000
+		keySpace  = 4_096
+		tenants   = 4
+		rebalance = 50 // quota churn iterations
+	)
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(64), WithWays(8),
+		WithPolicy(plru.BT), WithPartitions(tenants),
+		WithOnEvict(func(k, v uint64) {
+			if k != v {
+				panic("evicted pair corrupted")
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wrong atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := g % tenants
+			rng := uint64(g)*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < opsPerG; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				key := rng % keySpace
+				switch rng % 8 {
+				case 0:
+					c.Delete(key)
+				case 1, 2, 3:
+					c.SetTenant(tenant, key, key)
+				default:
+					if v, ok := c.GetTenant(tenant, key); ok && v != key {
+						wrong.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rebalance; i++ {
+			if _, err := c.Rebalance(); err != nil {
+				panic(fmt.Sprintf("rebalance: %v", err))
+			}
+			_ = c.Stats()
+			_ = c.MissCurves()
+			_ = c.Len()
+			if err := c.SetQuotas([]int{2, 2, 2, 2}); err != nil {
+				panic(fmt.Sprintf("setquotas: %v", err))
+			}
+		}
+	}()
+	wg.Wait()
+
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d lookups returned a value that did not match its key", n)
+	}
+	if got, cap := c.Len(), c.Capacity(); got > cap {
+		t.Fatalf("Len %d exceeds capacity %d", got, cap)
+	}
+	st := c.Stats()
+	var total uint64
+	for _, s := range st {
+		total += s.Hits + s.Misses
+	}
+	// Lookups are ~4/8 of the op mix; anything close to that proves the
+	// counters are not losing updates under contention.
+	if want := uint64(workers * opsPerG / 3); total < want {
+		t.Fatalf("stats lost traffic: %d recorded, want >= %d", total, want)
+	}
+}
+
+// TestConcurrentQuotaSafety checks that quota swaps mid-flight never let a
+// victim escape the tenant's current mask badly enough to corrupt slots:
+// every eviction reported through OnEvict carries a coherent (key, value)
+// pair even while SetQuotas races with fills.
+func TestConcurrentQuotaSafety(t *testing.T) {
+	var bad atomic.Uint64
+	c, err := New[int, int](
+		WithShards(2), WithSets(8), WithWays(8),
+		WithPolicy(plru.NRU), WithPartitions(2),
+		WithOnEvict(func(k, v int) {
+			if k != v {
+				bad.Add(1)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30_000; i++ {
+				k := (g*31 + i*7) % 1024
+				c.SetTenant(g%2, k, k)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			q := []int{1 + i%7, 7 - i%7}
+			if err := c.SetQuotas(q); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d corrupted evictions", n)
+	}
+}

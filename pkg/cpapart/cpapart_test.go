@@ -1,11 +1,11 @@
-package partition
+package cpapart
 
 import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/replacement"
 	"repro/internal/xrand"
+	"repro/pkg/plru"
 )
 
 // syntheticCurve builds a non-increasing miss curve for `ways`+1 entries
@@ -151,7 +151,7 @@ func TestStatic(t *testing.T) {
 func TestMasksContiguousDisjointComplete(t *testing.T) {
 	a := Allocation{3, 1, 4}
 	masks := Masks(a, 8)
-	var union replacement.WayMask
+	var union plru.WayMask
 	for i, m := range masks {
 		if m.Count() != a[i] {
 			t.Fatalf("mask %d has %d ways, want %d", i, m.Count(), a[i])
@@ -161,7 +161,7 @@ func TestMasksContiguousDisjointComplete(t *testing.T) {
 		}
 		union |= m
 	}
-	if union != replacement.Full(8) {
+	if union != plru.Full(8) {
 		t.Fatalf("masks do not cover the cache: %v", union)
 	}
 	// Contiguity: thread 0 gets ways 0-2.
@@ -258,7 +258,7 @@ func TestBuddyLayoutDisjointAlignedComplete(t *testing.T) {
 		if err != nil {
 			t.Fatalf("layout %v: %v", sizes, err)
 		}
-		var union replacement.WayMask
+		var union plru.WayMask
 		for i, b := range blocks {
 			if b.Size != sizes[i] {
 				t.Fatalf("block %d has size %d, want %d", i, b.Size, sizes[i])
@@ -271,7 +271,7 @@ func TestBuddyLayoutDisjointAlignedComplete(t *testing.T) {
 			}
 			union |= b.Mask()
 		}
-		if union != replacement.Full(16) {
+		if union != plru.Full(16) {
 			t.Fatalf("layout %v does not cover all ways", sizes)
 		}
 	}
@@ -298,14 +298,14 @@ func TestBuddyLayoutPropertyAllCompositions(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		var union replacement.WayMask
+		var union plru.WayMask
 		for _, b := range blocks {
 			if b.Lo%b.Size != 0 || union&b.Mask() != 0 {
 				return false
 			}
 			union |= b.Mask()
 		}
-		return union == replacement.Full(16)
+		return union == plru.Full(16)
 	}
 	ok := true
 	rec = func(left, min int, cur []int) bool {
@@ -334,7 +334,7 @@ func TestForceVectorsMatchBlockMask(t *testing.T) {
 	// For every aligned block in a 16-way cache, the force vectors must
 	// steer VictimForced into exactly the block, agreeing with the mask
 	// walk, regardless of tree state.
-	p := replacement.NewBTPolicy(1, 16)
+	p := plru.NewBTPolicy(1, 16)
 	rng := xrand.New(71)
 	for trial := 0; trial < 200; trial++ {
 		p.Touch(0, rng.Intn(16), 0)

@@ -1,4 +1,4 @@
-package replacement
+package plru
 
 import "math/bits"
 
@@ -30,7 +30,7 @@ type BTPolicy struct {
 func NewBTPolicy(sets, ways int) *BTPolicy {
 	validateGeometry(sets, ways)
 	if ways&(ways-1) != 0 {
-		panic("replacement: BT requires power-of-two associativity")
+		panic("plru: BT requires power-of-two associativity")
 	}
 	return &BTPolicy{
 		sets:   sets,
@@ -120,13 +120,13 @@ func (p *BTPolicy) Victim(set, core int, allowed WayMask) int {
 // stored bit decides. up[d] and down[d] must not both be set.
 func (p *BTPolicy) VictimForced(set int, up, down []bool) int {
 	if len(up) != p.levels || len(down) != p.levels {
-		panic("replacement: force vectors must have log2(ways) entries")
+		panic("plru: force vectors must have log2(ways) entries")
 	}
 	i := 1
 	way := 0
 	for d := 0; d < p.levels; d++ {
 		if up[d] && down[d] {
-			panic("replacement: up and down both forced at level " + itoa(d))
+			panic("plru: up and down both forced at level " + itoa(d))
 		}
 		var dir int
 		switch {

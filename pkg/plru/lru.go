@@ -1,4 +1,4 @@
-package replacement
+package plru
 
 // LRUPolicy implements true Least Recently Used replacement with exact
 // per-line stack positions. It is the reference policy the paper compares
@@ -19,7 +19,7 @@ type LRUPolicy struct {
 func NewLRUPolicy(sets, ways int) *LRUPolicy {
 	validateGeometry(sets, ways)
 	if ways > 256 {
-		panic("replacement: LRU supports at most 256 ways")
+		panic("plru: LRU supports at most 256 ways")
 	}
 	p := &LRUPolicy{sets: sets, ways: ways, age: make([]uint8, sets*ways)}
 	for s := 0; s < sets; s++ {

@@ -1,4 +1,6 @@
-package replacement
+package plru
+
+import "math/bits"
 
 // NRUPolicy implements the Not Recently Used replacement scheme of the Sun
 // UltraSPARC T2 (paper §III-A): every line carries one used bit, set on any
@@ -56,7 +58,7 @@ func (p *NRUPolicy) SetPartition(masks []WayMask) {
 		return
 	}
 	if len(masks) != p.cores {
-		panic("replacement: SetPartition mask count != cores")
+		panic("plru: SetPartition mask count != cores")
 	}
 	p.masks = append(p.masks[:0], masks...)
 }
@@ -71,6 +73,7 @@ func (p *NRUPolicy) scope(core int) WayMask {
 }
 
 // Touch sets the used bit of (set, way) and applies the scoped reset rule.
+// It never allocates.
 func (p *NRUPolicy) Touch(set, way, core int) {
 	base := set * p.ways
 	p.used[base+way] = true
@@ -79,14 +82,18 @@ func (p *NRUPolicy) Touch(set, way, core int) {
 	// accessed line. (If the accessed line is outside the scope — a hit in
 	// a way the core does not own — the whole scope is cleared.)
 	all := true
-	for _, w := range scope.Ways() {
+	for v := uint64(scope); v != 0; {
+		w := bits.TrailingZeros64(v)
+		v &^= 1 << uint(w)
 		if !p.used[base+w] {
 			all = false
 			break
 		}
 	}
 	if all {
-		for _, w := range scope.Ways() {
+		for v := uint64(scope); v != 0; {
+			w := bits.TrailingZeros64(v)
+			v &^= 1 << uint(w)
 			if w != way {
 				p.used[base+w] = false
 			}
@@ -98,7 +105,7 @@ func (p *NRUPolicy) Touch(set, way, core int) {
 // way with used == 0; if every allowed way has its bit set (possible under
 // partitioning, where the set-wide invariant does not cover arbitrary
 // subsets), the allowed ways are cleared first. The global pointer then
-// rotates forward one way, as in the T2.
+// rotates forward one way, as in the T2. Victim never allocates.
 func (p *NRUPolicy) Victim(set, core int, allowed WayMask) int {
 	checkVictimArgs(p, set, allowed)
 	base := set * p.ways
@@ -106,7 +113,9 @@ func (p *NRUPolicy) Victim(set, core int, allowed WayMask) int {
 	if victim < 0 {
 		// No allowed way had used == 0: clear the allowed subset and
 		// retake. This mirrors the scoped reset rule at eviction time.
-		for _, w := range allowed.Ways() {
+		for v := uint64(allowed) & uint64(Full(p.ways)); v != 0; {
+			w := bits.TrailingZeros64(v)
+			v &^= 1 << uint(w)
 			p.used[base+w] = false
 		}
 		victim = p.scan(base, allowed)

@@ -1,0 +1,194 @@
+// Package plru provides allocation-free, per-set recency state for
+// set-associative caches under the replacement policies studied by
+// Kedzierski et al., "Adapting cache partitioning algorithms to pseudo-LRU
+// replacement policies" (IPDPS 2010): true LRU, NRU (Not Recently Used, as
+// in the Sun UltraSPARC T2) and BT (Binary Tree pseudo-LRU, as in IBM
+// designs), plus a Random reference policy.
+//
+// Every policy manages the recency state for all sets of one cache and
+// supports partition-aware victim selection: Victim takes a WayMask that
+// restricts which ways may be evicted, which is how the paper's "global
+// replacement masks" enforcement works — and, equally, how a multi-tenant
+// software cache enforces per-tenant way quotas (see repro/pkg/cpacache).
+// The BT policy additionally exposes the paper's per-level up/down force
+// vectors (VictimForced), and each policy exposes the introspection the
+// corresponding profiling logic needs (LRU stack distance, NRU used-bit
+// counts, BT path bits).
+//
+// Policies are not safe for concurrent use; callers own the locking (a
+// sharded cache typically keeps one policy instance per shard behind the
+// shard lock). Touch and Victim never allocate on any policy except
+// Random's mask enumeration, so they are safe for hot paths.
+package plru
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kind identifies a replacement policy family.
+type Kind int
+
+// The replacement policy families used in the paper's evaluation.
+const (
+	LRU    Kind = iota // true Least Recently Used
+	NRU                // Not Recently Used (used bit + global replacement pointer)
+	BT                 // Binary Tree pseudo-LRU
+	Random             // uniform random victim (reference)
+)
+
+// String returns the conventional short name of the policy kind.
+func (k Kind) String() string {
+	switch k {
+	case LRU:
+		return "LRU"
+	case NRU:
+		return "NRU"
+	case BT:
+		return "BT"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a policy name ("LRU", "NRU", "BT", "Random",
+// case-sensitive) into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "LRU":
+		return LRU, nil
+	case "NRU":
+		return NRU, nil
+	case "BT":
+		return BT, nil
+	case "Random":
+		return Random, nil
+	}
+	return 0, fmt.Errorf("plru: unknown policy %q", s)
+}
+
+// WayMask is a bitmask over cache ways; bit w set means way w is included.
+// The zero mask is "no ways"; use Full for "all ways".
+type WayMask uint64
+
+// MaxWays is the largest associativity a WayMask can describe.
+const MaxWays = 64
+
+// Full returns a mask with the low `ways` bits set.
+func Full(ways int) WayMask {
+	if ways <= 0 {
+		return 0
+	}
+	if ways >= MaxWays {
+		return ^WayMask(0)
+	}
+	return WayMask(1)<<uint(ways) - 1
+}
+
+// Has reports whether way w is in the mask.
+func (m WayMask) Has(w int) bool { return m&(1<<uint(w)) != 0 }
+
+// With returns the mask with way w added.
+func (m WayMask) With(w int) WayMask { return m | 1<<uint(w) }
+
+// Without returns the mask with way w removed.
+func (m WayMask) Without(w int) WayMask { return m &^ (1 << uint(w)) }
+
+// Count returns the number of ways in the mask.
+func (m WayMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Nth returns the i-th way of the mask in ascending order (0-based), or
+// -1 when the mask holds fewer than i+1 ways. It never allocates.
+func (m WayMask) Nth(i int) int {
+	for v := uint64(m); v != 0; i-- {
+		w := bits.TrailingZeros64(v)
+		if i == 0 {
+			return w
+		}
+		v &^= 1 << uint(w)
+	}
+	return -1
+}
+
+// Ways returns the way indices in the mask in ascending order.
+func (m WayMask) Ways() []int {
+	out := make([]int, 0, m.Count())
+	for v := uint64(m); v != 0; {
+		w := bits.TrailingZeros64(v)
+		out = append(out, w)
+		v &^= 1 << uint(w)
+	}
+	return out
+}
+
+// String renders the mask as e.g. "{0,1,5}".
+func (m WayMask) String() string {
+	ws := m.Ways()
+	s := "{"
+	for i, w := range ws {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(w)
+	}
+	return s + "}"
+}
+
+// Policy is the common behavior of a replacement policy instance covering
+// every set of one cache.
+type Policy interface {
+	// Kind identifies the policy family.
+	Kind() Kind
+	// Ways returns the cache associativity the policy was built for.
+	Ways() int
+	// Sets returns the number of sets the policy tracks.
+	Sets() int
+	// Touch records an access — hit or fill — to way `way` of set `set`
+	// by core `core`, updating the recency state.
+	Touch(set, way, core int)
+	// Victim selects the way to evict in `set` for `core`, restricted to
+	// the allowed mask. The mask must be non-empty; Victim panics on an
+	// empty mask because that is always a caller bug.
+	Victim(set, core int, allowed WayMask) int
+	// SetPartition installs per-core way masks that scope NRU's used-bit
+	// reset rule (and are available to any policy that wants partition
+	// awareness on hits). A nil slice returns to unpartitioned behavior.
+	SetPartition(masks []WayMask)
+}
+
+// New constructs a policy of the given kind for a cache with `sets` sets,
+// `ways` ways and `cores` sharer cores. The seed is used only by Random.
+func New(kind Kind, sets, ways, cores int, seed uint64) Policy {
+	switch kind {
+	case LRU:
+		return NewLRUPolicy(sets, ways)
+	case NRU:
+		return NewNRUPolicy(sets, ways, cores)
+	case BT:
+		return NewBTPolicy(sets, ways)
+	case Random:
+		return NewRandomPolicy(sets, ways, seed)
+	default:
+		panic(fmt.Sprintf("plru: unknown kind %d", kind))
+	}
+}
+
+func validateGeometry(sets, ways int) {
+	if sets <= 0 {
+		panic("plru: sets must be positive")
+	}
+	if ways <= 0 || ways > MaxWays {
+		panic(fmt.Sprintf("plru: ways must be in [1,%d]", MaxWays))
+	}
+}
+
+func checkVictimArgs(p Policy, set int, allowed WayMask) {
+	if set < 0 || set >= p.Sets() {
+		panic(fmt.Sprintf("plru: set %d out of range [0,%d)", set, p.Sets()))
+	}
+	if allowed&Full(p.Ways()) == 0 {
+		panic("plru: Victim called with empty allowed mask")
+	}
+}

@@ -1,4 +1,4 @@
-package replacement
+package plru
 
 import "repro/internal/xrand"
 
@@ -32,9 +32,10 @@ func (p *RandomPolicy) SetPartition(masks []WayMask) {}
 // Touch is a no-op: random replacement keeps no recency state.
 func (p *RandomPolicy) Touch(set, way, core int) {}
 
-// Victim returns a uniformly random way from the allowed mask.
+// Victim returns a uniformly random way from the allowed mask. It never
+// allocates: the i-th set bit is selected directly from the mask.
 func (p *RandomPolicy) Victim(set, core int, allowed WayMask) int {
 	checkVictimArgs(p, set, allowed)
-	ws := allowed.Ways()
-	return ws[p.rng.Intn(len(ws))]
+	m := allowed & Full(p.ways)
+	return m.Nth(p.rng.Intn(m.Count()))
 }
