@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-cpacache fmt fmt-check vet staticcheck vulncheck ci
+.PHONY: build examples test race bench bench-cpacache bench-compare alloc-guard fmt fmt-check vet staticcheck vulncheck ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,24 @@ bench:
 bench-cpacache:
 	$(GO) test -run=NONE -bench=. -benchtime=100x ./pkg/cpacache/
 
+# Compare a fresh cpacache bench run against the checked-in
+# BENCH_cpacache.json baseline with benchstat (skipped when benchstat is
+# not installed: go install golang.org/x/perf/cmd/benchstat@latest).
+# cmd/benchjson renders the JSON baseline in benchstat's input format.
+bench-compare:
+	@if ! command -v benchstat >/dev/null; then \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); skipping"; exit 0; fi
+	$(GO) run ./cmd/benchjson BENCH_cpacache.json > /tmp/bench_baseline.txt
+	$(GO) test -run=NONE -bench='GetHit|SetChurn|ParallelGetSet|Rebalance|GetBatch|SetBatch' \
+		-benchtime=1s -count=5 ./pkg/cpacache/ > /tmp/bench_fresh.txt
+	benchstat /tmp/bench_baseline.txt /tmp/bench_fresh.txt
+
+# The hot-path allocation guards (testing.AllocsPerRun) run without -race:
+# instrumentation skews the accounting. Alloc regressions fail here fast
+# even on hosts too noisy for ns/op comparisons.
+alloc-guard:
+	$(GO) test -run 'ZeroAlloc|Allocs' ./pkg/cpacache/ ./pkg/cpapart/
+
 # staticcheck / govulncheck run when installed and are skipped otherwise,
 # so `make ci` works in hermetic containers; the CI lint job always runs
 # them.
@@ -49,4 +67,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet staticcheck build examples race bench bench-cpacache
+ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache

@@ -1,0 +1,68 @@
+// Benchjson converts the repo's checked-in BENCH_*.json baselines into Go
+// benchmark output lines that benchstat understands, so `make
+// bench-compare` can diff a fresh run against the recorded baseline:
+//
+//	go run ./cmd/benchjson BENCH_cpacache.json > old.txt
+//	go test -run=NONE -bench=. -count=5 ./pkg/cpacache/ > new.txt
+//	benchstat old.txt new.txt
+//
+// The JSON carries a single observation per benchmark, so benchstat
+// reports the baseline without a variance estimate; the comparison column
+// against the multi-count fresh run is still exact.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchFile struct {
+	Host struct {
+		CPUs       int    `json:"cpus"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		Go         string `json:"go"`
+	} `json:"host"`
+	Results map[string]struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson BENCH_file.json [more.json...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var f benchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		procs := f.Host.GoMaxProcs
+		if procs <= 0 {
+			procs = 1
+		}
+		names := make([]string, 0, len(f.Results))
+		for name := range f.Results {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("goos: linux")
+		fmt.Println("goarch: amd64")
+		fmt.Println("pkg: repro/pkg/cpacache")
+		for _, name := range names {
+			r := f.Results[name]
+			// Iteration count is irrelevant to benchstat's statistics;
+			// 1000 keeps the line shaped like real `go test -bench` output.
+			fmt.Printf("%s-%d\t1000\t%g ns/op\t%g allocs/op\n", name, procs, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+//go:build !race
+
+// Allocation guards for the hot paths. They are excluded from -race runs
+// (instrumentation skews the accounting); CI runs them in a dedicated
+// non-race step so alloc regressions fail fast even on a 1-CPU runner
+// where throughput regressions can hide.
+
+package cpacache
+
+import (
+	"testing"
+
+	"repro/pkg/plru"
+)
+
+func newAllocCache(t *testing.T, tenants int) *Cache[uint64, uint64] {
+	t.Helper()
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.BT), WithPartitions(tenants),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestGetHitZeroAlloc pins the warm lookup path at zero allocations.
+func TestGetHitZeroAlloc(t *testing.T) {
+	c := newAllocCache(t, 1)
+	const keys = 1024
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	i := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Get(i % keys)
+		i++
+	}); n != 0 {
+		t.Fatalf("GetHit allocates %v/op, want 0", n)
+	}
+}
+
+// TestSetChurnZeroAlloc pins the continuously evicting insert path at zero
+// allocations.
+func TestSetChurnZeroAlloc(t *testing.T) {
+	c := newAllocCache(t, 1)
+	k := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Set(k, k)
+		k++
+	}); n != 0 {
+		t.Fatalf("SetChurn allocates %v/op, want 0", n)
+	}
+}
+
+// TestParallelMixZeroAlloc pins the multi-tenant get/set/delete mix (the
+// per-goroutine body of BenchmarkParallelGetSet) at zero allocations.
+func TestParallelMixZeroAlloc(t *testing.T) {
+	c := newAllocCache(t, 4)
+	rng := uint64(1)
+	if n := testing.AllocsPerRun(1000, func() {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		k := rng % 32768
+		tenant := int(rng>>20) % 4
+		switch rng % 10 {
+		case 0:
+			c.SetTenant(tenant, k, k)
+		case 1:
+			c.Delete(k)
+		default:
+			c.GetTenant(tenant, k)
+		}
+	}); n != 0 {
+		t.Fatalf("mixed hot path allocates %v/op, want 0", n)
+	}
+}
+
+// TestBatchSteadyStateZeroAlloc pins GetBatch/SetBatch at zero
+// allocations once the pooled scratch and eviction buffers have grown.
+func TestBatchSteadyStateZeroAlloc(t *testing.T) {
+	evictions := 0
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.BT), WithPartitions(2),
+		WithOnEvict(func(k, v uint64) { evictions++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	keys := make([]uint64, batch)
+	vals := make([]uint64, batch)
+	oks := make([]bool, batch)
+	k := uint64(0)
+	fill := func() {
+		for i := range keys {
+			keys[i] = k % 40_000
+			vals[i] = keys[i]
+			k++
+		}
+	}
+	// Warm up: grow the pooled scratch and per-shard eviction buffers.
+	for i := 0; i < 2000; i++ {
+		fill()
+		c.SetBatch(i%2, keys, vals)
+		c.GetBatch(i%2, keys, vals, oks)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		fill()
+		c.SetBatch(0, keys, vals)
+		c.GetBatch(1, keys, vals, oks)
+	}); n != 0 {
+		t.Fatalf("steady-state batch ops allocate %v/call-pair, want 0", n)
+	}
+	if evictions == 0 {
+		t.Fatal("workload never evicted; the guard did not cover the OnEvict buffer path")
+	}
+}
+
+// TestRebalanceSteadyStateAllocs asserts steady-state Rebalance stays at
+// a small constant: the returned quota copy is its only allocation, the
+// DP tables / curves / masks all live in control-plane scratch on the
+// Cache.
+func TestRebalanceSteadyStateAllocs(t *testing.T) {
+	for _, pol := range []plru.Kind{plru.BT, plru.LRU} {
+		c, err := New[uint64, uint64](
+			WithShards(4), WithSets(64), WithWays(16),
+			WithPolicy(pol), WithPartitions(4),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 8192; k++ {
+			c.GetTenant(int(k)%4, k)
+		}
+		if _, err := c.Rebalance(); err != nil { // warm the scratch
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if _, err := c.Rebalance(); err != nil {
+				t.Fatal(err)
+			}
+		}); n > 1 {
+			t.Fatalf("%v: steady-state Rebalance allocates %v/op, want <= 1 (the returned quota copy)", pol, n)
+		}
+	}
+}

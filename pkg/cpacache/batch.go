@@ -1,0 +1,187 @@
+package cpacache
+
+import (
+	"hash/maphash"
+	"math/bits"
+)
+
+// Batch operations group keys by shard and take each shard's lock exactly
+// once per call, amortizing lock acquisition (and its cache-line traffic)
+// over the whole batch — the dominant per-op cost once the probe itself is
+// a tag match. Keys are processed in their original order within each
+// shard, so a batch is equivalent to issuing its per-shard subsequences
+// through SetTenant/GetTenant back to back; only the interleaving BETWEEN
+// shards differs from the sequential loop. OnEvict callbacks still run
+// after the owning shard's lock is released.
+//
+// The per-call scratch (hashes, shard grouping, displaced entries) is
+// recycled through a sync.Pool, so steady-state batches do not allocate.
+
+// batchScratch is the reusable working storage of one batch call.
+type batchScratch[K comparable, V any] struct {
+	hash  []uint64
+	order []int32 // key indices grouped by shard
+	start []int32 // len(shards)+1 group boundaries into order
+	cur   []int32 // per-shard placement cursors
+	evK   []K     // displaced entries awaiting OnEvict
+	evV   []V
+}
+
+// getScratch returns a scratch sized for n keys, reusing a pooled one
+// when available.
+func (c *Cache[K, V]) getScratch(n int) *batchScratch[K, V] {
+	s, _ := c.batchPool.Get().(*batchScratch[K, V])
+	if s == nil {
+		s = &batchScratch[K, V]{}
+	}
+	if cap(s.hash) < n {
+		s.hash = make([]uint64, n)
+		s.order = make([]int32, n)
+	}
+	s.hash = s.hash[:n]
+	s.order = s.order[:n]
+	if s.start == nil {
+		s.start = make([]int32, len(c.shards)+1)
+		s.cur = make([]int32, len(c.shards))
+	}
+	return s
+}
+
+// putScratch returns a scratch to the pool. The eviction buffers were
+// already cleared by the caller; hash/order hold no references.
+func (c *Cache[K, V]) putScratch(s *batchScratch[K, V]) {
+	c.batchPool.Put(s)
+}
+
+// groupByShard hashes every key and builds, in s.order, the key indices
+// grouped by shard (original order preserved within each shard).
+// s.start[si]..s.start[si+1] bounds shard si's group.
+func (c *Cache[K, V]) groupByShard(s *batchScratch[K, V], keys []K) {
+	for i := range s.start {
+		s.start[i] = 0
+	}
+	for i, k := range keys {
+		h := maphash.Comparable(c.seed, k)
+		s.hash[i] = h
+		s.start[(h&c.shardMask)+1]++
+	}
+	for i := 1; i < len(s.start); i++ {
+		s.start[i] += s.start[i-1]
+	}
+	copy(s.cur, s.start[:len(s.cur)])
+	for i := range keys {
+		si := s.hash[i] & c.shardMask
+		s.order[s.cur[si]] = int32(i)
+		s.cur[si]++
+	}
+}
+
+// GetBatch looks up every key on behalf of tenant, writing results into
+// vals[i] and oks[i] (both must be at least len(keys) long; vals[i] is
+// zeroed on a miss). It returns the number of hits. Stats, recency updates
+// and profiling are identical to per-key GetTenant calls; each shard's
+// lock is taken once for its whole group of keys.
+func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
+	c.checkTenant(tenant)
+	if len(vals) < len(keys) || len(oks) < len(keys) {
+		panic("cpacache: GetBatch result slices shorter than keys")
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	s := c.getScratch(len(keys))
+	c.groupByShard(s, keys)
+	hits := 0
+	var zero V
+	for si := range c.shards {
+		lo, hi := s.start[si], s.start[si+1]
+		if lo == hi {
+			continue
+		}
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for _, oi := range s.order[lo:hi] {
+			i := int(oi)
+			set := c.setOf(s.hash[i])
+			tag := tagOf(s.hash[i])
+			base := set * c.ways
+			tbase := set * c.tagWords
+			if sh.prof.isSampled(set) {
+				sh.prof.record(set, tenant, keys[i])
+			}
+			// Probe inlined (as in GetTenant) to keep the per-key loop
+			// free of call overhead.
+			way := -1
+			for j := 0; j < c.tagWords && way < 0; j++ {
+				for m := matchTag(sh.tags[tbase+j], tag); m != 0; m &= m - 1 {
+					w := j*8 + markWay(bits.TrailingZeros64(m))
+					if sh.keys[base+w] == keys[i] {
+						way = w
+						break
+					}
+				}
+			}
+			if way >= 0 {
+				sh.stats[tenant].Hits++
+				sh.pol.Touch(set, way, tenant)
+				vals[i] = sh.vals[base+way]
+				oks[i] = true
+				hits++
+			} else {
+				sh.stats[tenant].Misses++
+				vals[i] = zero
+				oks[i] = false
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.putScratch(s)
+	return hits
+}
+
+// SetBatch inserts or updates every keys[i] → vals[i] pair on behalf of
+// tenant (the slices must be the same length). Victim selection, quota
+// enforcement and stats are identical to per-key SetTenant calls; each
+// shard's lock is taken once for its whole group of keys, and OnEvict
+// callbacks for the entries a shard displaced run right after that shard's
+// lock is released.
+func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
+	c.checkTenant(tenant)
+	if len(vals) != len(keys) {
+		panic("cpacache: SetBatch keys and vals lengths differ")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	s := c.getScratch(len(keys))
+	c.groupByShard(s, keys)
+	for si := range c.shards {
+		lo, hi := s.start[si], s.start[si+1]
+		if lo == hi {
+			continue
+		}
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for _, oi := range s.order[lo:hi] {
+			i := int(oi)
+			set := c.setOf(s.hash[i])
+			tag := tagOf(s.hash[i])
+			evKey, evVal, ev := c.setLocked(sh, set, tenant, tag, keys[i], vals[i])
+			if ev && c.onEvict != nil {
+				s.evK = append(s.evK, evKey)
+				s.evV = append(s.evV, evVal)
+			}
+		}
+		sh.mu.Unlock()
+		if len(s.evK) > 0 {
+			for j := range s.evK {
+				c.onEvict(s.evK[j], s.evV[j])
+			}
+			clear(s.evK) // drop references before pooling
+			clear(s.evV)
+			s.evK = s.evK[:0]
+			s.evV = s.evV[:0]
+		}
+	}
+	c.putScratch(s)
+}

@@ -79,6 +79,49 @@ func BenchmarkParallelGetSet(b *testing.B) {
 	})
 }
 
+// batchSize is the per-call batch width of the batch benchmarks; ns/op
+// numbers are per key (the loops step b.N by batchSize), so they compare
+// directly against BenchmarkGetHit / BenchmarkSetChurn.
+const batchSize = 64
+
+// BenchmarkGetBatch measures the per-key cost of warm batched lookups:
+// one shard lock per shard per 64-key batch instead of one per key.
+func BenchmarkGetBatch(b *testing.B) {
+	c := newBenchCache(b, plru.BT, 1)
+	const keys = 1024
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	kb := make([]uint64, batchSize)
+	vb := make([]uint64, batchSize)
+	ob := make([]bool, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range kb {
+			kb[j] = uint64(i+j) % keys
+		}
+		c.GetBatch(0, kb, vb, ob)
+	}
+}
+
+// BenchmarkSetBatch measures the per-key cost of batched inserts that
+// continuously evict — the batched twin of BenchmarkSetChurn/BT.
+func BenchmarkSetBatch(b *testing.B) {
+	c := newBenchCache(b, plru.BT, 1)
+	kb := make([]uint64, batchSize)
+	vb := make([]uint64, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range kb {
+			kb[j] = uint64(i + j)
+			vb[j] = kb[j]
+		}
+		c.SetBatch(0, kb, vb)
+	}
+}
+
 // BenchmarkRebalance measures a full profile-aggregate + MinMisses +
 // mask-install cycle, the control-plane cost paid per repartition interval.
 func BenchmarkRebalance(b *testing.B) {

@@ -25,13 +25,21 @@
 // over stack-distance profiles sampled UMON-style on a subset of sets.
 //
 // All methods are safe for concurrent use. The per-operation hot path
-// takes exactly one shard mutex and performs no heap allocation.
+// takes exactly one shard mutex and performs no heap allocation; set
+// probes resolve through a packed per-set tag word (one hash byte per
+// way, matched with branch-free SWAR scans — see tags.go) the way a
+// hardware cache resolves a parallel tag match, falling back to full key
+// comparison only on tag hits. GetBatch and SetBatch amortize the shard
+// lock over many keys, and Rebalance reuses control-plane scratch so
+// steady-state repartitioning stays allocation-free.
 package cpacache
 
 import (
 	"fmt"
 	"hash/maphash"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/pkg/cpapart"
 	"repro/pkg/plru"
@@ -48,10 +56,26 @@ type Cache[K comparable, V any] struct {
 	policy  plru.Kind
 	onEvict func(K, V)
 
+	shardMask uint64 // len(shards)-1
+	setMask   uint64 // sets-1 when sets is a power of two, else 0
+	waysMask  uint64 // low `ways` bits set
+	tagWords  int    // packed tag words per set
+
+	// batchPool recycles the per-call scratch of GetBatch/SetBatch so
+	// steady-state batches do not allocate.
+	batchPool sync.Pool
+
 	// quotaMu serializes quota changes (SetQuotas / Rebalance); shard
-	// locks alone protect the per-shard mask copies.
-	quotaMu sync.Mutex
-	quotas  []int
+	// locks alone protect the per-shard mask copies. The ctl* fields are
+	// control-plane scratch guarded by quotaMu: Rebalance and SetQuotas
+	// reuse them so steady-state repartitioning does not allocate.
+	quotaMu   sync.Mutex
+	quotas    []int
+	ctlCurves [][]uint64
+	ctlAlloc  cpapart.Allocation
+	ctlMasks  []plru.WayMask
+	ctlBlocks []cpapart.Block
+	ctlDP     cpapart.Scratch
 }
 
 // shard is one independently locked slice of the cache: sets×ways slots
@@ -59,14 +83,23 @@ type Cache[K comparable, V any] struct {
 type shard[K comparable, V any] struct {
 	mu    sync.Mutex
 	pol   plru.Policy
+	tags  []uint64 // tagWords per set: packed per-way tag bytes (tags.go)
 	keys  []K
 	vals  []V
 	owner []int16 // tenant that filled the slot, -1 when empty
 	masks []plru.WayMask
-	live  int
+	live  atomic.Int64 // written under mu, read lock-free by Len
 	stats []TenantStats
 	prof  profiler[K]
 	_     [8]uint64 // keep adjacent shards off one another's cache lines
+}
+
+// setTag stores the tag byte of `way` into the set's packed tag words
+// rooted at tbase.
+func (sh *shard[K, V]) setTag(tbase, way int, tag uint8) {
+	shift := uint(way&7) * 8
+	w := &sh.tags[tbase+way>>3]
+	*w = *w&^(0xFF<<shift) | uint64(tag)<<shift
 }
 
 // TenantStats counts one tenant's cache traffic.
@@ -107,18 +140,31 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		onEvict = fn
 	}
 	c := &Cache[K, V]{
-		shards:  make([]shard[K, V], s.shards),
-		seed:    maphash.MakeSeed(),
-		sets:    s.sets,
-		ways:    s.ways,
-		tenants: s.tenants,
-		policy:  s.policy,
-		onEvict: onEvict,
-		quotas:  evenQuotas(s.tenants, s.ways),
+		shards:    make([]shard[K, V], s.shards),
+		seed:      maphash.MakeSeed(),
+		sets:      s.sets,
+		ways:      s.ways,
+		tenants:   s.tenants,
+		policy:    s.policy,
+		onEvict:   onEvict,
+		shardMask: uint64(s.shards - 1),
+		waysMask:  uint64(plru.Full(s.ways)),
+		tagWords:  tagWordsFor(s.ways),
+		quotas:    evenQuotas(s.tenants, s.ways),
 	}
+	if s.sets&(s.sets-1) == 0 {
+		c.setMask = uint64(s.sets - 1)
+	}
+	c.ctlCurves = make([][]uint64, s.tenants)
+	curveBuf := make([]uint64, s.tenants*(s.ways+1))
+	for t := range c.ctlCurves {
+		c.ctlCurves[t] = curveBuf[t*(s.ways+1) : (t+1)*(s.ways+1)]
+	}
+	c.ctlMasks = make([]plru.WayMask, s.tenants)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.pol = plru.New(s.policy, s.sets, s.ways, s.tenants, s.seed+uint64(i))
+		sh.tags = make([]uint64, s.sets*c.tagWords)
 		sh.keys = make([]K, s.sets*s.ways)
 		sh.vals = make([]V, s.sets*s.ways)
 		sh.owner = make([]int16, s.sets*s.ways)
@@ -148,18 +194,50 @@ func evenQuotas(tenants, ways int) []int {
 	return q
 }
 
-// locate splits a key's hash into a shard index and a set index.
-func (c *Cache[K, V]) locate(key K) (*shard[K, V], int) {
+// setOf maps a key hash to a set index, with a mask instead of a modulo
+// when the set count is a power of two (the common geometry).
+func (c *Cache[K, V]) setOf(h uint64) int {
+	if c.setMask != 0 {
+		return int((h >> 32) & c.setMask)
+	}
+	return int((h >> 32) % uint64(c.sets))
+}
+
+// locate splits a key's hash into its shard, set index and tag byte.
+func (c *Cache[K, V]) locate(key K) (*shard[K, V], int, uint8) {
 	h := maphash.Comparable(c.seed, key)
-	sh := &c.shards[h&uint64(len(c.shards)-1)]
-	set := int((h >> 32) % uint64(c.sets))
-	return sh, set
+	return &c.shards[h&c.shardMask], c.setOf(h), tagOf(h)
 }
 
 func (c *Cache[K, V]) checkTenant(tenant int) {
 	if tenant < 0 || tenant >= c.tenants {
 		panic(fmt.Sprintf("cpacache: tenant %d out of range [0,%d)", tenant, c.tenants))
 	}
+}
+
+// findLocked resolves key within one set using the packed tag words: only
+// ways whose tag byte matches are confirmed with a full key comparison.
+// Returns the way index or -1. Caller holds sh.mu.
+func (c *Cache[K, V]) findLocked(sh *shard[K, V], base, tbase int, tag uint8, key K) int {
+	for j := 0; j < c.tagWords; j++ {
+		for m := matchTag(sh.tags[tbase+j], tag); m != 0; m &= m - 1 {
+			w := j*8 + markWay(bits.TrailingZeros64(m))
+			if sh.keys[base+w] == key {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
+// emptyWaysLocked returns the mask of empty ways of the set rooted at
+// tbase, from a zero-byte scan of the packed tag words. Caller holds sh.mu.
+func (c *Cache[K, V]) emptyWaysLocked(sh *shard[K, V], tbase int) uint64 {
+	e := uint64(0)
+	for j := 0; j < c.tagWords; j++ {
+		e |= byteMarksToBits(zeroBytes(sh.tags[tbase+j])) << (8 * j)
+	}
+	return e & c.waysMask
 }
 
 // Get looks up key on behalf of tenant 0.
@@ -174,24 +252,71 @@ func (c *Cache[K, V]) Set(key K, value V) { c.SetTenant(0, key, value) }
 // the caller decides whether to SetTenant the value afterwards.
 func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
 	c.checkTenant(tenant)
-	sh, set := c.locate(key)
+	h := maphash.Comparable(c.seed, key)
+	sh := &c.shards[h&c.shardMask]
+	set := c.setOf(h)
+	tag := tagOf(h)
 	base := set * c.ways
+	tbase := set * c.tagWords
 
 	sh.mu.Lock()
-	sh.prof.record(set, tenant, key)
-	for w := 0; w < c.ways; w++ {
-		if sh.owner[base+w] >= 0 && sh.keys[base+w] == key {
-			sh.stats[tenant].Hits++
-			sh.pol.Touch(set, w, tenant)
-			v := sh.vals[base+w]
-			sh.mu.Unlock()
-			return v, true
+	if sh.prof.isSampled(set) {
+		sh.prof.record(set, tenant, key)
+	}
+	// Probe is inlined here (not findLocked) to keep the hottest path free
+	// of call overhead: one SWAR match per tag word, then key-confirm.
+	for j := 0; j < c.tagWords; j++ {
+		for m := matchTag(sh.tags[tbase+j], tag); m != 0; m &= m - 1 {
+			w := j*8 + markWay(bits.TrailingZeros64(m))
+			if sh.keys[base+w] == key {
+				sh.stats[tenant].Hits++
+				sh.pol.Touch(set, w, tenant)
+				v := sh.vals[base+w]
+				sh.mu.Unlock()
+				return v, true
+			}
 		}
 	}
 	sh.stats[tenant].Misses++
 	sh.mu.Unlock()
 	var zero V
 	return zero, false
+}
+
+// setLocked inserts or updates key in its set, returning the displaced
+// entry if the fill evicted one. Caller holds sh.mu and must run the
+// OnEvict callback (if any) after releasing it.
+func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key K, value V) (evKey K, evVal V, ev bool) {
+	base := set * c.ways
+	tbase := set * c.tagWords
+	way := c.findLocked(sh, base, tbase, tag, key)
+	if way < 0 {
+		// One zero-byte pass over the tag words finds every empty way:
+		// prefer one inside the tenant's own partition, then anywhere in
+		// the set — filling unowned empty ways does not displace anyone,
+		// so quotas are not violated.
+		empty := c.emptyWaysLocked(sh, tbase)
+		pick := empty & uint64(sh.masks[tenant])
+		if pick == 0 {
+			pick = empty
+		}
+		if pick != 0 {
+			way = bits.TrailingZeros64(pick)
+			sh.live.Add(1)
+		} else {
+			// Eviction replaces a live line with a live line: the counter
+			// is unchanged, so no atomic touches the churn path.
+			way = sh.pol.Victim(set, tenant, sh.masks[tenant])
+			evKey, evVal, ev = sh.keys[base+way], sh.vals[base+way], true
+			sh.stats[sh.owner[base+way]].Evictions++
+		}
+	}
+	sh.keys[base+way] = key
+	sh.vals[base+way] = value
+	sh.owner[base+way] = int16(tenant)
+	sh.setTag(tbase, way, tag)
+	sh.pol.Touch(set, way, tenant)
+	return evKey, evVal, ev
 }
 
 // SetTenant inserts or updates key on behalf of the given tenant. On
@@ -201,56 +326,10 @@ func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
 // if configured, runs after the shard lock is released.
 func (c *Cache[K, V]) SetTenant(tenant int, key K, value V) {
 	c.checkTenant(tenant)
-	sh, set := c.locate(key)
-	base := set * c.ways
+	sh, set, tag := c.locate(key)
 
-	var (
-		evKey K
-		evVal V
-		ev    bool
-	)
 	sh.mu.Lock()
-	// Update in place on a hit, wherever the line lives.
-	way := -1
-	for w := 0; w < c.ways; w++ {
-		if sh.owner[base+w] >= 0 && sh.keys[base+w] == key {
-			way = w
-			break
-		}
-	}
-	if way < 0 {
-		mask := sh.masks[tenant]
-		// Prefer an empty slot inside the tenant's own partition…
-		for v := mask; v != 0; {
-			w := v.Nth(0)
-			v = v.Without(w)
-			if sh.owner[base+w] < 0 {
-				way = w
-				break
-			}
-		}
-		if way < 0 {
-			// …then anywhere in the set: filling unowned empty ways does
-			// not displace anyone, so quotas are not violated.
-			for w := 0; w < c.ways; w++ {
-				if sh.owner[base+w] < 0 {
-					way = w
-					break
-				}
-			}
-		}
-		if way < 0 {
-			way = sh.pol.Victim(set, tenant, mask)
-			evKey, evVal, ev = sh.keys[base+way], sh.vals[base+way], true
-			sh.stats[sh.owner[base+way]].Evictions++
-			sh.live--
-		}
-		sh.live++
-	}
-	sh.keys[base+way] = key
-	sh.vals[base+way] = value
-	sh.owner[base+way] = int16(tenant)
-	sh.pol.Touch(set, way, tenant)
+	evKey, evVal, ev := c.setLocked(sh, set, tenant, tag, key, value)
 	sh.mu.Unlock()
 
 	if ev && c.onEvict != nil {
@@ -259,38 +338,41 @@ func (c *Cache[K, V]) SetTenant(tenant int, key K, value V) {
 }
 
 // Delete removes key from the cache and reports whether it was present.
-// Delete never triggers OnEvict (that callback is reserved for capacity
-// evictions).
+// The freed way's tag byte is cleared and the replacement policy's recency
+// state for it invalidated, so the slot is both reusable by the next fill
+// and first in line for victim selection. Delete never triggers OnEvict
+// (that callback is reserved for capacity evictions).
 func (c *Cache[K, V]) Delete(key K) bool {
-	sh, set := c.locate(key)
+	sh, set, tag := c.locate(key)
 	base := set * c.ways
+	tbase := set * c.tagWords
 	var zeroK K
 	var zeroV V
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for w := 0; w < c.ways; w++ {
-		if sh.owner[base+w] >= 0 && sh.keys[base+w] == key {
-			sh.keys[base+w] = zeroK
-			sh.vals[base+w] = zeroV
-			sh.owner[base+w] = -1
-			sh.live--
-			return true
-		}
+	w := c.findLocked(sh, base, tbase, tag, key)
+	if w < 0 {
+		return false
 	}
-	return false
+	sh.keys[base+w] = zeroK
+	sh.vals[base+w] = zeroV
+	sh.owner[base+w] = -1
+	sh.setTag(tbase, w, tagEmpty)
+	sh.pol.Invalidate(set, w)
+	sh.live.Add(-1)
+	return true
 }
 
-// Len returns the number of live entries across all shards.
+// Len returns the number of live entries across all shards. It reads each
+// shard's counter atomically without taking its lock, so the result is a
+// consistent per-shard (not cross-shard) snapshot — O(shards), no probe.
 func (c *Cache[K, V]) Len() int {
-	n := 0
+	var n int64
 	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		n += sh.live
-		sh.mu.Unlock()
+		n += c.shards[i].live.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Capacity returns the maximum number of entries (shards × sets × ways).
@@ -347,9 +429,10 @@ func (c *Cache[K, V]) SetQuotas(quotas []int) error {
 
 // setQuotasLocked installs quotas and their masks on every shard. The
 // caller must hold quotaMu: holding it across the whole install keeps
-// every shard on the same partition layout when quota changes race.
+// every shard on the same partition layout when quota changes race, and
+// guards the ctl* scratch the mask computation reuses.
 func (c *Cache[K, V]) setQuotasLocked(quotas []int) error {
-	masks, err := c.masksFor(quotas)
+	masks, err := c.masksForLocked(quotas)
 	if err != nil {
 		return err
 	}
@@ -364,8 +447,9 @@ func (c *Cache[K, V]) setQuotasLocked(quotas []int) error {
 	return nil
 }
 
-// masksFor validates quotas and converts them to per-tenant way masks.
-func (c *Cache[K, V]) masksFor(quotas []int) ([]plru.WayMask, error) {
+// masksForLocked validates quotas and converts them to per-tenant way
+// masks held in the ctlMasks scratch. The caller must hold quotaMu.
+func (c *Cache[K, V]) masksForLocked(quotas []int) ([]plru.WayMask, error) {
 	if len(quotas) != c.tenants {
 		return nil, fmt.Errorf("cpacache: got %d quotas for %d tenants", len(quotas), c.tenants)
 	}
@@ -374,17 +458,18 @@ func (c *Cache[K, V]) masksFor(quotas []int) ([]plru.WayMask, error) {
 		return nil, fmt.Errorf("cpacache: quotas %v must each be >= 1 and sum to %d ways", quotas, c.ways)
 	}
 	if c.policy == plru.BT && allPowersOfTwo(quotas) {
-		blocks, err := cpapart.BuddyLayout(quotas, c.ways)
+		blocks, err := cpapart.BuddyLayoutInto(c.ctlBlocks, &c.ctlDP, quotas, c.ways)
 		if err != nil {
 			return nil, fmt.Errorf("cpacache: buddy layout: %w", err)
 		}
-		masks := make([]plru.WayMask, len(blocks))
+		c.ctlBlocks = blocks
 		for i, b := range blocks {
-			masks[i] = b.Mask()
+			c.ctlMasks[i] = b.Mask()
 		}
-		return masks, nil
+		return c.ctlMasks, nil
 	}
-	return cpapart.Masks(alloc, c.ways), nil
+	c.ctlMasks = cpapart.MasksInto(c.ctlMasks, alloc, c.ways)
+	return c.ctlMasks, nil
 }
 
 func allPowersOfTwo(qs []int) bool {
@@ -408,13 +493,22 @@ func (c *Cache[K, V]) MissCurves() [][]uint64 {
 	for t := range curves {
 		curves[t] = make([]uint64, c.ways+1)
 	}
+	c.missCurvesInto(curves)
+	return curves
+}
+
+// missCurvesInto aggregates every shard's profile into curves, which must
+// be tenants rows of ways+1 and is zeroed first.
+func (c *Cache[K, V]) missCurvesInto(curves [][]uint64) {
+	for t := range curves {
+		clear(curves[t])
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		sh.prof.addCurves(curves)
 		sh.mu.Unlock()
 	}
-	return curves
 }
 
 // Rebalance recomputes the per-tenant quotas from the miss curves observed
@@ -423,23 +517,25 @@ func (c *Cache[K, V]) MissCurves() [][]uint64 {
 // (exact DP), or cpapart.BuddyMinMisses under BT so the result stays
 // realizable by force vectors — the paper's repartitioning step, with the
 // profile interval chosen by the caller's Rebalance cadence. With a single
-// tenant Rebalance is a no-op that still resets the profile.
+// tenant Rebalance is a no-op that still resets the profile. Steady-state
+// Rebalance reuses control-plane scratch held on the Cache; the only
+// per-call allocation is the returned quota slice.
 func (c *Cache[K, V]) Rebalance() ([]int, error) {
 	// quotaMu spans the whole profile-read + allocate + install cycle so
 	// concurrent Rebalance/SetQuotas calls serialize as units (shard locks
 	// are only ever taken inside quotaMu, never the other way around).
 	c.quotaMu.Lock()
 	defer c.quotaMu.Unlock()
-	curves := c.MissCurves()
-	var alloc cpapart.Allocation
-	if c.tenants == 1 {
-		alloc = cpapart.Allocation{c.ways}
-	} else if c.policy == plru.BT {
-		alloc = cpapart.BuddyMinMisses(curves, c.ways)
-	} else {
-		alloc = cpapart.MinMisses{}.Allocate(curves, c.ways)
+	c.missCurvesInto(c.ctlCurves)
+	switch {
+	case c.tenants == 1:
+		c.ctlAlloc = append(c.ctlAlloc[:0], c.ways)
+	case c.policy == plru.BT:
+		c.ctlAlloc = cpapart.BuddyMinMissesInto(c.ctlAlloc, &c.ctlDP, c.ctlCurves, c.ways)
+	default:
+		c.ctlAlloc = cpapart.MinMisses{}.AllocateInto(c.ctlAlloc, &c.ctlDP, c.ctlCurves, c.ways)
 	}
-	if err := c.setQuotasLocked(alloc); err != nil {
+	if err := c.setQuotasLocked(c.ctlAlloc); err != nil {
 		return nil, err
 	}
 	for i := range c.shards {
@@ -448,5 +544,5 @@ func (c *Cache[K, V]) Rebalance() ([]int, error) {
 		sh.prof.reset()
 		sh.mu.Unlock()
 	}
-	return alloc, nil
+	return append([]int(nil), c.ctlAlloc...), nil
 }

@@ -9,15 +9,25 @@ package cpacache
 // tenant's miss-versus-ways curve, which is exactly what the cpapart
 // allocators consume.
 //
+// Sampling membership is precomputed into a bitmap at init: the hot path
+// asks isSampled (one load + mask, inlined into GetTenant) and calls
+// record only for sampled sets, so accesses to the other (sampleEvery-1)/
+// sampleEvery of the cache never pay a profiler call at all. slot holds
+// each sampled set's stack-block index so record does no division.
+//
 // The profiler lives under the shard mutex, so it needs no locking of its
 // own. Its stacks are key slices, not cache slots: a tenant's profile sees
 // its own accesses only, undisturbed by other tenants' evictions — the
 // "isolated miss curve" the partitioning model assumes.
 type profiler[K comparable] struct {
-	every   int // profile sets where set % every == 0
 	depth   int // stack depth == ways
 	tenants int
-	// stacks[(set/every)*tenants+t] holds up to depth keys, MRU first.
+	// sampleBits[set/64] bit set%64 marks sets where set % every == 0.
+	sampleBits []uint64
+	// slot[set] is the sampled-set ordinal (stack-block index), -1 when
+	// the set is not sampled.
+	slot []int32
+	// stacks[slot*tenants+t] holds up to depth keys, MRU first.
 	stacks [][]K
 	// hist[t][d-1] counts hits at stack distance d in 1..depth;
 	// hist[t][depth] counts profiled misses.
@@ -28,10 +38,20 @@ func (p *profiler[K]) init(sets, ways, tenants, every int) {
 	if every > sets {
 		every = sets
 	}
-	p.every = every
 	p.depth = ways
 	p.tenants = tenants
-	sampled := (sets + every - 1) / every
+	p.sampleBits = make([]uint64, (sets+63)/64)
+	p.slot = make([]int32, sets)
+	sampled := 0
+	for set := 0; set < sets; set++ {
+		if set%every == 0 {
+			p.sampleBits[set>>6] |= 1 << (uint(set) & 63)
+			p.slot[set] = int32(sampled)
+			sampled++
+		} else {
+			p.slot[set] = -1
+		}
+	}
 	p.stacks = make([][]K, sampled*tenants)
 	for i := range p.stacks {
 		// Full capacity up front: record() must never allocate, even
@@ -44,16 +64,19 @@ func (p *profiler[K]) init(sets, ways, tenants, every int) {
 	}
 }
 
-// record notes an access by tenant to key in set. Sets outside the sample
-// are ignored; for sampled sets the key is looked up in the tenant's
-// private LRU stack, its distance recorded, and the stack updated
-// move-to-front (inserting at MRU on a profiled miss, dropping the LRU
-// entry when the stack is at depth).
+// isSampled reports whether the set belongs to the profiled sample. It is
+// small enough to inline into the lookup hot path.
+func (p *profiler[K]) isSampled(set int) bool {
+	return p.sampleBits[uint(set)>>6]&(1<<(uint(set)&63)) != 0
+}
+
+// record notes an access by tenant to key in a sampled set: the key is
+// looked up in the tenant's private LRU stack, its distance recorded, and
+// the stack updated move-to-front (inserting at MRU on a profiled miss,
+// dropping the LRU entry when the stack is at depth). The caller must have
+// checked isSampled(set).
 func (p *profiler[K]) record(set, tenant int, key K) {
-	if set%p.every != 0 {
-		return
-	}
-	idx := (set/p.every)*p.tenants + tenant
+	idx := int(p.slot[set])*p.tenants + tenant
 	st := p.stacks[idx]
 	pos := -1
 	for i, k := range st {

@@ -96,6 +96,89 @@ func TestConcurrentStress(t *testing.T) {
 	}
 }
 
+// TestConcurrentBatchStress hammers GetBatch/SetBatch from many
+// goroutines (each with its own key/value slices, as the API requires)
+// while per-key ops, deletes and rebalances interleave. It exists to run
+// under -race: the pooled batch scratch must never leak state between
+// concurrent calls.
+func TestConcurrentBatchStress(t *testing.T) {
+	const (
+		workers  = 6
+		rounds   = 400
+		batch    = 96
+		keySpace = 4_096
+		tenants  = 4
+	)
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(64), WithWays(8),
+		WithPolicy(plru.BT), WithPartitions(tenants),
+		WithOnEvict(func(k, v uint64) {
+			if k != v {
+				panic("evicted pair corrupted")
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := g % tenants
+			keys := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			oks := make([]bool, batch)
+			rng := uint64(g)*0x9E3779B97F4A7C15 + 3
+			for r := 0; r < rounds; r++ {
+				for i := range keys {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					keys[i] = rng % keySpace
+					vals[i] = keys[i]
+				}
+				switch r % 3 {
+				case 0:
+					c.SetBatch(tenant, keys, vals)
+				case 1:
+					c.GetBatch(tenant, keys, vals, oks)
+					for i := range keys {
+						if oks[i] && vals[i] != keys[i] {
+							wrong.Add(1)
+						}
+					}
+				default:
+					for _, k := range keys[:8] {
+						c.Delete(k)
+					}
+					c.SetTenant(tenant, keys[0], keys[0])
+					c.GetTenant(tenant, keys[1])
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := c.Rebalance(); err != nil {
+				panic(fmt.Sprintf("rebalance: %v", err))
+			}
+			_ = c.Len()
+		}
+	}()
+	wg.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d batch lookups returned a value that did not match its key", n)
+	}
+	if got, cap := c.Len(), c.Capacity(); got > cap {
+		t.Fatalf("Len %d exceeds capacity %d", got, cap)
+	}
+}
+
 // TestConcurrentQuotaSafety checks that quota swaps mid-flight never let a
 // victim escape the tenant's current mask badly enough to corrupt slots:
 // every eviction reported through OnEvict carries a coherent (key, value)

@@ -1,0 +1,34 @@
+//go:build !race
+
+// Allocation guard for the scratch-reusing allocator variants. Excluded
+// from -race runs (instrumentation skews AllocsPerRun accounting); CI
+// runs it in the dedicated non-race "alloc guards" step.
+
+package cpapart
+
+import "testing"
+
+// TestScratchSteadyStateZeroAllocs checks the Into variants stop
+// allocating once the scratch has grown to the working geometry.
+func TestScratchSteadyStateZeroAllocs(t *testing.T) {
+	var s Scratch
+	curves := randomCurves(4, 16, 7)
+	dst := make(Allocation, 4)
+	blocks := make([]Block, 4)
+	masks := MasksInto(nil, Fair{}.Allocate(curves, 16), 16)
+	// Warm up so every scratch slice reaches capacity.
+	dst = MinMisses{}.AllocateInto(dst, &s, curves, 16)
+	dst = BuddyMinMissesInto(dst, &s, curves, 16)
+	if n := testing.AllocsPerRun(50, func() {
+		dst = MinMisses{}.AllocateInto(dst, &s, curves, 16)
+		dst = BuddyMinMissesInto(dst, &s, curves, 16)
+		var err error
+		blocks, err = BuddyLayoutInto(blocks, &s, dst, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masks = MasksInto(masks, dst, 16)
+	}); n != 0 {
+		t.Fatalf("steady-state Into allocators allocate %v times per run, want 0", n)
+	}
+}

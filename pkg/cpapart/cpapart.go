@@ -19,7 +19,6 @@ package cpapart
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/pkg/plru"
 )
@@ -94,47 +93,11 @@ func (MinMisses) Name() string { return "MinMisses" }
 
 // Allocate returns an allocation minimizing the predicted total misses
 // with >= 1 way per thread. Ties are broken toward giving earlier threads
-// fewer ways, deterministically.
-func (MinMisses) Allocate(curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	n := len(curves)
-	const inf = ^uint64(0)
-
-	// f[t][w] = min total misses over threads [0,t) using exactly w ways.
-	f := make([][]uint64, n+1)
-	choice := make([][]int, n+1)
-	for t := range f {
-		f[t] = make([]uint64, ways+1)
-		choice[t] = make([]int, ways+1)
-		for w := range f[t] {
-			f[t][w] = inf
-		}
-	}
-	f[0][0] = 0
-	for t := 1; t <= n; t++ {
-		for w := t; w <= ways; w++ { // at least 1 way per placed thread
-			for a := 1; a <= w-(t-1); a++ {
-				prev := f[t-1][w-a]
-				if prev == inf {
-					continue
-				}
-				cand := prev + curves[t-1][a]
-				if cand < f[t][w] {
-					f[t][w] = cand
-					choice[t][w] = a
-				}
-			}
-		}
-	}
-
-	alloc := make(Allocation, n)
-	w := ways
-	for t := n; t >= 1; t-- {
-		a := choice[t][w]
-		alloc[t-1] = a
-		w -= a
-	}
-	return alloc
+// fewer ways, deterministically. Use AllocateInto with a Scratch to run
+// the same dynamic program without per-call allocation.
+func (m MinMisses) Allocate(curves [][]uint64, ways int) Allocation {
+	var s Scratch
+	return m.AllocateInto(nil, &s, curves, ways)
 }
 
 // Lookahead is the greedy marginal-utility allocator from Qureshi & Patt's
@@ -212,18 +175,7 @@ func (s Static) Allocate(curves [][]uint64, ways int) Allocation {
 // share ended. Contiguity is not required by the masks hardware but keeps
 // layouts deterministic and comparable with the BT buddy layout.
 func Masks(a Allocation, ways int) []plru.WayMask {
-	if !a.Valid(ways) {
-		panic(fmt.Sprintf("cpapart: allocation %v invalid for %d ways", a, ways))
-	}
-	masks := make([]plru.WayMask, len(a))
-	lo := 0
-	for i, w := range a {
-		for k := 0; k < w; k++ {
-			masks[i] = masks[i].With(lo + k)
-		}
-		lo += w
-	}
-	return masks
+	return MasksInto(nil, a, ways)
 }
 
 // ----- Binary-buddy support for BT enforcement -----
@@ -239,112 +191,22 @@ func (b Block) Mask() plru.WayMask {
 
 // BuddyMinMisses returns the allocation minimizing predicted misses under
 // the BT constraint that every share is a power of two (and the shares sum
-// to `ways`, which must itself be a power of two).
+// to `ways`, which must itself be a power of two). Use BuddyMinMissesInto
+// with a Scratch to run the same dynamic program without per-call
+// allocation.
 func BuddyMinMisses(curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	if ways&(ways-1) != 0 {
-		panic("cpapart: buddy allocation requires power-of-two ways")
-	}
-	n := len(curves)
-	const inf = ^uint64(0)
-	var sizes []int
-	for s := 1; s <= ways; s *= 2 {
-		sizes = append(sizes, s)
-	}
-	f := make([][]uint64, n+1)
-	choice := make([][]int, n+1)
-	for t := range f {
-		f[t] = make([]uint64, ways+1)
-		choice[t] = make([]int, ways+1)
-		for w := range f[t] {
-			f[t][w] = inf
-		}
-	}
-	f[0][0] = 0
-	for t := 1; t <= n; t++ {
-		for w := 0; w <= ways; w++ {
-			for _, s := range sizes {
-				if s > w {
-					break
-				}
-				prev := f[t-1][w-s]
-				if prev == inf {
-					continue
-				}
-				cand := prev + curves[t-1][s]
-				if cand < f[t][w] {
-					f[t][w] = cand
-					choice[t][w] = s
-				}
-			}
-		}
-	}
-	if f[n][ways] == inf {
-		panic("cpapart: no buddy allocation exists (too many threads for ways?)")
-	}
-	alloc := make(Allocation, n)
-	w := ways
-	for t := n; t >= 1; t-- {
-		s := choice[t][w]
-		alloc[t-1] = s
-		w -= s
-	}
-	return alloc
+	var s Scratch
+	return BuddyMinMissesInto(nil, &s, curves, ways)
 }
 
 // BuddyLayout places power-of-two shares onto disjoint aligned blocks of a
 // `ways`-way set. A multiset of powers of two summing to `ways` always
 // packs (largest-first into a buddy free list); BuddyLayout returns an
-// error only on invalid inputs.
+// error only on invalid inputs. Use BuddyLayoutInto with a Scratch to
+// compute the same placement without per-call allocation.
 func BuddyLayout(sizes []int, ways int) ([]Block, error) {
-	if ways <= 0 || ways&(ways-1) != 0 {
-		return nil, fmt.Errorf("cpapart: ways %d not a power of two", ways)
-	}
-	total := 0
-	for _, s := range sizes {
-		if s <= 0 || s&(s-1) != 0 {
-			return nil, fmt.Errorf("cpapart: share %d not a power of two", s)
-		}
-		total += s
-	}
-	if total != ways {
-		return nil, fmt.Errorf("cpapart: shares sum to %d, want %d", total, ways)
-	}
-
-	// Sort indices by size descending (stable on index for determinism).
-	idx := make([]int, len(sizes))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] > sizes[idx[b]] })
-
-	free := []Block{{Lo: 0, Size: ways}} // kept sorted by Lo
-	blocks := make([]Block, len(sizes))
-	for _, i := range idx {
-		want := sizes[i]
-		// Find the smallest free block that fits, lowest address first.
-		best := -1
-		for j, b := range free {
-			if b.Size >= want && (best < 0 || b.Size < free[best].Size ||
-				(b.Size == free[best].Size && b.Lo < free[best].Lo)) {
-				best = j
-			}
-		}
-		if best < 0 {
-			return nil, fmt.Errorf("cpapart: internal packing failure for sizes %v", sizes)
-		}
-		b := free[best]
-		free = append(free[:best], free[best+1:]...)
-		// Split down to the wanted size, returning the upper halves.
-		for b.Size > want {
-			half := b.Size / 2
-			free = append(free, Block{Lo: b.Lo + half, Size: half})
-			b.Size = half
-		}
-		blocks[i] = b
-		sort.Slice(free, func(a, c int) bool { return free[a].Lo < free[c].Lo })
-	}
-	return blocks, nil
+	var s Scratch
+	return BuddyLayoutInto(nil, &s, sizes, ways)
 }
 
 // ForceVectors converts an aligned block into the paper's per-level

@@ -1,0 +1,86 @@
+package cpapart
+
+import (
+	"reflect"
+	"testing"
+)
+
+// randomCurves builds n non-increasing pseudo-random miss curves for the
+// given associativity from a tiny deterministic generator.
+func randomCurves(n, ways int, seed uint64) [][]uint64 {
+	rng := seed*0x9E3779B97F4A7C15 + 1
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	curves := make([][]uint64, n)
+	for i := range curves {
+		c := make([]uint64, ways+1)
+		c[0] = 10_000 + next()%10_000
+		for w := 1; w <= ways; w++ {
+			drop := next() % (c[w-1]/uint64(ways) + 1)
+			c[w] = c[w-1] - drop
+		}
+		curves[i] = c
+	}
+	return curves
+}
+
+// TestIntoVariantsMatchAllocating checks the scratch-reusing variants
+// produce byte-identical results to the allocating APIs across many random
+// curve sets — including when the scratch is reused across geometries.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	var s Scratch
+	var dst Allocation
+	var blocks []Block
+	for seed := uint64(1); seed <= 40; seed++ {
+		for _, geo := range []struct{ n, ways int }{{2, 8}, {4, 16}, {3, 16}, {8, 32}, {1, 4}} {
+			curves := randomCurves(geo.n, geo.ways, seed)
+			want := MinMisses{}.Allocate(curves, geo.ways)
+			dst = MinMisses{}.AllocateInto(dst, &s, curves, geo.ways)
+			if !reflect.DeepEqual(want, dst) {
+				t.Fatalf("seed %d geo %+v: AllocateInto = %v, want %v", seed, geo, dst, want)
+			}
+
+			wantB := BuddyMinMisses(curves, geo.ways)
+			dst = BuddyMinMissesInto(dst, &s, curves, geo.ways)
+			if !reflect.DeepEqual(wantB, dst) {
+				t.Fatalf("seed %d geo %+v: BuddyMinMissesInto = %v, want %v", seed, geo, dst, wantB)
+			}
+
+			wantBlocks, err := BuddyLayout(wantB, geo.ways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks, err = BuddyLayoutInto(blocks, &s, wantB, geo.ways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantBlocks, blocks) {
+				t.Fatalf("seed %d geo %+v: BuddyLayoutInto = %v, want %v", seed, geo, blocks, wantBlocks)
+			}
+
+			wantMasks := Masks(want, geo.ways)
+			gotMasks := MasksInto(nil, want, geo.ways)
+			if !reflect.DeepEqual(wantMasks, gotMasks) {
+				t.Fatalf("seed %d geo %+v: MasksInto = %v, want %v", seed, geo, gotMasks, wantMasks)
+			}
+		}
+	}
+}
+
+// TestBuddyLayoutIntoErrors pins the validation paths.
+func TestBuddyLayoutIntoErrors(t *testing.T) {
+	var s Scratch
+	if _, err := BuddyLayoutInto(nil, &s, []int{4, 4}, 12); err == nil {
+		t.Fatal("non-power-of-two ways accepted")
+	}
+	if _, err := BuddyLayoutInto(nil, &s, []int{3, 5}, 8); err == nil {
+		t.Fatal("non-power-of-two share accepted")
+	}
+	if _, err := BuddyLayoutInto(nil, &s, []int{4, 2}, 8); err == nil {
+		t.Fatal("short total accepted")
+	}
+}

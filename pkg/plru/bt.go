@@ -84,6 +84,18 @@ func (p *BTPolicy) Touch(set, way, core int) {
 	}
 }
 
+// Invalidate points every tree bit on the way's root path toward it —
+// the inverse of Touch — so an unmasked victim walk lands exactly on the
+// freed way. Only log2(ways) bits change.
+func (p *BTPolicy) Invalidate(set, way int) {
+	i := 1
+	for d := 0; d < p.levels; d++ {
+		dir := p.dirOf(way, d)
+		p.setNode(set, i, uint8(dir)) // point pseudo-LRU at the freed way
+		i = 2*i + dir
+	}
+}
+
 // Victim walks the tree bits from the root, restricted to the allowed
 // mask: at each node it follows the stored bit when both subtrees contain
 // allowed ways and otherwise the only viable side.

@@ -1,0 +1,86 @@
+package plru
+
+import "testing"
+
+// TestLRUInvalidateDemotesToLRU checks the invalidated way becomes the
+// unmasked victim and the remaining ages stay a permutation.
+func TestLRUInvalidateDemotesToLRU(t *testing.T) {
+	p := NewLRUPolicy(2, 4)
+	for _, w := range []int{3, 2, 1, 0} { // MRU order 0,1,2,3
+		p.Touch(0, w, 0)
+	}
+	p.Invalidate(0, 0) // 0 was MRU; demote it
+	if v := p.Victim(0, 0, Full(4)); v != 0 {
+		t.Fatalf("Victim after Invalidate = %d, want 0", v)
+	}
+	// Ages must remain a permutation of [0,4).
+	seen := [4]bool{}
+	for w := 0; w < 4; w++ {
+		seen[p.Dist(0, w)-1] = true
+	}
+	for d, ok := range seen {
+		if !ok {
+			t.Fatalf("ages not a permutation: distance %d missing (order %v)", d+1, p.order(0))
+		}
+	}
+	// Relative order of the survivors is preserved: 1 is now MRU, then 2, 3.
+	if got := p.order(0); got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 0 {
+		t.Fatalf("order after Invalidate = %v, want [1 2 3 0]", got)
+	}
+	// Other sets untouched.
+	if p.Dist(1, 0) != 1 {
+		t.Fatal("Invalidate leaked into another set")
+	}
+}
+
+// TestNRUInvalidateClearsUsedBit checks the way reads as not-recently-used
+// again and is reclaimed by the next victim scan at its pointer position.
+func TestNRUInvalidateClearsUsedBit(t *testing.T) {
+	p := NewNRUPolicy(1, 4, 1)
+	p.Touch(0, 1, 0)
+	p.Touch(0, 2, 0)
+	if !p.Used(0, 1) || !p.Used(0, 2) {
+		t.Fatal("setup: used bits not set")
+	}
+	p.Invalidate(0, 2)
+	if p.Used(0, 2) {
+		t.Fatal("used bit survived Invalidate")
+	}
+	if p.Used(0, 1) {
+		// touch state of other ways must be untouched
+	} else {
+		t.Fatal("Invalidate cleared a neighbor's used bit")
+	}
+}
+
+// TestBTInvalidateMakesWayTheVictim checks that after Invalidate the
+// unmasked tree walk lands exactly on the freed way, for every way.
+func TestBTInvalidateMakesWayTheVictim(t *testing.T) {
+	p := NewBTPolicy(1, 8)
+	for way := 0; way < 8; way++ {
+		// Touch everything in some order so the tree points elsewhere.
+		for w := 0; w < 8; w++ {
+			p.Touch(0, w, 0)
+		}
+		p.Invalidate(0, way)
+		if v := p.Victim(0, 0, Full(8)); v != way {
+			t.Fatalf("Victim after Invalidate(%d) = %d", way, v)
+		}
+		if pos := p.EstStackPos(0, way); pos != 8 {
+			t.Fatalf("EstStackPos after Invalidate(%d) = %d, want 8 (pseudo-LRU)", way, pos)
+		}
+	}
+}
+
+// TestRandomInvalidateIsNoop just pins that Invalidate exists and does not
+// disturb the RNG stream (same victims with and without interleaved calls).
+func TestRandomInvalidateIsNoop(t *testing.T) {
+	a := NewRandomPolicy(1, 8, 7)
+	b := NewRandomPolicy(1, 8, 7)
+	for i := 0; i < 100; i++ {
+		b.Invalidate(0, i%8)
+		if av, bv := a.Victim(0, 0, Full(8)), b.Victim(0, 0, Full(8)); av != bv {
+			t.Fatalf("step %d: RNG streams diverged (%d vs %d)", i, av, bv)
+		}
+	}
+}

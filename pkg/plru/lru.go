@@ -56,6 +56,20 @@ func (p *LRUPolicy) Touch(set, way, core int) {
 	p.age[base+way] = 0
 }
 
+// Invalidate demotes way to the LRU position of set, promoting every line
+// that was older than it by one step; the freed way becomes the unmasked
+// victim until it is touched again.
+func (p *LRUPolicy) Invalidate(set, way int) {
+	base := set * p.ways
+	old := p.age[base+way]
+	for w := 0; w < p.ways; w++ {
+		if a := p.age[base+w]; a > old {
+			p.age[base+w] = a - 1
+		}
+	}
+	p.age[base+way] = uint8(p.ways - 1)
+}
+
 // Victim returns the least recently used way within the allowed mask.
 func (p *LRUPolicy) Victim(set, core int, allowed WayMask) int {
 	checkVictimArgs(p, set, allowed)

@@ -101,6 +101,12 @@ func (p *NRUPolicy) Touch(set, way, core int) {
 	}
 }
 
+// Invalidate clears the used bit of (set, way): the way reads as "not
+// recently used", so the victim scan can reclaim it immediately.
+func (p *NRUPolicy) Invalidate(set, way int) {
+	p.used[set*p.ways+way] = false
+}
+
 // Victim scans from the global replacement pointer for the first allowed
 // way with used == 0; if every allowed way has its bit set (possible under
 // partitioning, where the set-wide invariant does not cover arbitrary

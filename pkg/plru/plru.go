@@ -152,6 +152,13 @@ type Policy interface {
 	// the allowed mask. The mask must be non-empty; Victim panics on an
 	// empty mask because that is always a caller bug.
 	Victim(set, core int, allowed WayMask) int
+	// Invalidate clears any recency the way had accumulated in `set`,
+	// making it the policy's preferred next victim (exactly how a hardware
+	// valid-bit clear interacts with replacement state). Callers use it
+	// when a line leaves the cache outside the replacement path — an
+	// explicit delete, an external invalidation — so the recency state
+	// never points at a stale line. Invalidate never allocates.
+	Invalidate(set, way int)
 	// SetPartition installs per-core way masks that scope NRU's used-bit
 	// reset rule (and are available to any policy that wants partition
 	// awareness on hits). A nil slice returns to unpartitioned behavior.

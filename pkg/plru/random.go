@@ -32,6 +32,9 @@ func (p *RandomPolicy) SetPartition(masks []WayMask) {}
 // Touch is a no-op: random replacement keeps no recency state.
 func (p *RandomPolicy) Touch(set, way, core int) {}
 
+// Invalidate is a no-op: there is no recency state to clear.
+func (p *RandomPolicy) Invalidate(set, way int) {}
+
 // Victim returns a uniformly random way from the allowed mask. It never
 // allocates: the i-th set bit is selected directly from the mask.
 func (p *RandomPolicy) Victim(set, core int, allowed WayMask) int {
