@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-cpacache bench-compare alloc-guard fmt fmt-check vet staticcheck vulncheck ci
+.PHONY: build examples test race bench bench-cpacache bench-compare alloc-guard fmt fmt-check vet staticcheck vulncheck docs-check ci
 
 build:
 	$(GO) build ./...
@@ -67,4 +67,10 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache
+# Docs gate (cmd/doccheck): every relative link in *.md resolves, every
+# ```go fence parses (full-file blocks must also be gofmt-clean), and vet
+# stays green. CI runs this as its own job.
+docs-check: vet
+	$(GO) run ./cmd/doccheck .
+
+ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache docs-check

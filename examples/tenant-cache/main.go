@@ -1,8 +1,10 @@
 // Tenant-cache: an HTTP service in which N tenants share one
 // cpacache.Cache, each with a way quota enforced through the paper's
-// replacement masks, and an admin endpoint that rebalances the quotas
-// online from the observed per-tenant hit curves (pkg/cpapart's MinMisses
-// over UMON-style profiles).
+// replacement masks, and the full lifecycle subsystem on: per-entry TTLs
+// with a background sweeper, byte-cost accounting with per-tenant
+// budgets, and a background auto-rebalance ticker that moves ways to
+// whichever tenant's observed hit curves can use them — no admin call
+// required.
 //
 // Run the demo workload (no network needed):
 //
@@ -13,14 +15,19 @@
 //	go run ./examples/tenant-cache -listen :8080
 //	curl 'localhost:8080/get?tenant=0&key=user:17'
 //	curl -X PUT 'localhost:8080/set?tenant=0&key=user:17&value=alice'
+//	curl -X PUT 'localhost:8080/set?tenant=0&key=tmp:1&value=x&ttl=5s'
 //	curl 'localhost:8080/stats'
-//	curl -X POST 'localhost:8080/rebalance'
+//	curl 'localhost:8080/metrics'
+//	curl -X POST 'localhost:8080/rebalance'   # manual override; the ticker does this on its own
 //
 // The demo drives a cache-hungry tenant (a wide key loop), a medium
-// service and a churning log-ingest tenant (never-repeating keys) against
-// even initial quotas, prints each tenant's hit rate, rebalances, and
-// prints the shifted hit rates: the hungry tenant's rate rises because
-// MinMisses hands it the ways the churner provably cannot use.
+// service and a churning log-ingest tenant (never-repeating keys, every
+// entry TTL'd) against even initial quotas, prints each tenant's hit
+// rate, keeps the traffic running until the background ticker has
+// repartitioned from the observed curves — there is no Rebalance call in
+// the demo — and prints the shifted hit rates: the hungry tenant's rate
+// rises because MinMisses hands it the ways the churner provably cannot
+// use.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/pkg/cpacache"
 	"repro/pkg/plru"
@@ -37,7 +45,11 @@ import (
 
 const tenants = 3
 
-func newCache() (*cpacache.Cache[string, string], error) {
+// cacheCost charges each entry its string payload plus a fixed slot
+// overhead, the usual approximation for an in-process string cache.
+func cacheCost(k, v string) uint64 { return uint64(len(k) + len(v) + 48) }
+
+func newCache(auto time.Duration, sink cpacache.MetricsSink) (*cpacache.Cache[string, string], error) {
 	return cpacache.New[string, string](
 		cpacache.WithShards(4),
 		cpacache.WithSets(64),
@@ -45,6 +57,13 @@ func newCache() (*cpacache.Cache[string, string], error) {
 		cpacache.WithPolicy(plru.LRU),
 		cpacache.WithPartitions(tenants),
 		cpacache.WithProfileSampling(1),
+		cpacache.WithCost(cacheCost),
+		cpacache.WithTTLSweep(50*time.Millisecond),
+		cpacache.WithAutoRebalance(auto),
+		// Demand at least a modest profiled window and a 2% predicted
+		// gain before the ticker thrashes the masks.
+		cpacache.WithRebalanceHysteresis(0.02, 256),
+		cpacache.WithMetricsSink(sink),
 	)
 }
 
@@ -52,18 +71,38 @@ func main() {
 	var (
 		listen = flag.String("listen", "", "address to serve HTTP on (e.g. :8080)")
 		demo   = flag.Bool("demo", false, "run the synthetic 3-tenant workload and exit")
+		auto   = flag.Duration("auto", 2*time.Second, "auto-rebalance interval (0 disables the ticker; the demo defaults to a snappier 150ms)")
 	)
 	flag.Parse()
+	// The demo's whole point is ticker-driven rebalancing, so its default
+	// interval is short; an explicit -auto still wins in either mode.
+	autoSet := false
+	flag.Visit(func(f *flag.Flag) { autoSet = autoSet || f.Name == "auto" })
 
-	c, err := newCache()
-	if err != nil {
-		log.Fatal(err)
-	}
 	switch {
 	case *demo:
-		runDemo(c)
+		interval := *auto
+		if !autoSet {
+			interval = 150 * time.Millisecond
+		}
+		if interval <= 0 {
+			log.Fatal("the demo needs the auto-rebalance ticker; pass -auto > 0")
+		}
+		runDemo(interval)
 	case *listen != "":
-		log.Printf("tenant-cache serving on %s (%d tenants, %d ways)", *listen, tenants, c.Ways())
+		c, err := newCache(*auto, cpacache.MetricsSink{
+			Rebalance: func(e cpacache.RebalanceEvent) {
+				if e.Applied {
+					log.Printf("rebalance: %v -> %v (auto=%v, %d samples)", e.Old, e.New, e.Auto, e.SampledAccesses)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		log.Printf("tenant-cache serving on %s (%d tenants, %d ways, auto-rebalance %v)",
+			*listen, tenants, c.Ways(), *auto)
 		log.Fatal(http.ListenAndServe(*listen, newMux(c)))
 	default:
 		fmt.Println("nothing to do: pass -demo or -listen :8080 (see -h)")
@@ -105,27 +144,45 @@ func newMux(c *cpacache.Cache[string, string]) *http.ServeMux {
 			return
 		}
 		q := r.URL.Query()
-		c.SetTenant(t, q.Get("key"), q.Get("value"))
+		if ttlStr := q.Get("ttl"); ttlStr != "" {
+			ttl, err := time.ParseDuration(ttlStr)
+			if err != nil {
+				http.Error(w, "bad ttl: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			c.SetTenantTTL(t, q.Get("key"), q.Get("value"), ttl)
+		} else {
+			c.SetTenant(t, q.Get("key"), q.Get("value"))
+		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		type tenantReport struct {
-			Quota   int     `json:"quota_ways"`
-			Hits    uint64  `json:"hits"`
-			Misses  uint64  `json:"misses"`
-			HitRate float64 `json:"hit_rate"`
+			Quota       int     `json:"quota_ways"`
+			Hits        uint64  `json:"hits"`
+			Misses      uint64  `json:"misses"`
+			Evictions   uint64  `json:"evictions"`
+			Expirations uint64  `json:"expirations"`
+			Bytes       uint64  `json:"bytes_resident"`
+			HitRate     float64 `json:"hit_rate"`
 		}
 		quotas, stats := c.Quotas(), c.Stats()
 		out := make([]tenantReport, tenants)
 		for t := range out {
 			out[t] = tenantReport{
 				Quota: quotas[t], Hits: stats[t].Hits, Misses: stats[t].Misses,
-				HitRate: stats[t].HitRate(),
+				Evictions: stats[t].Evictions, Expirations: stats[t].Expirations,
+				Bytes: stats[t].Bytes, HitRate: stats[t].HitRate(),
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Snapshot())
 	})
 
 	mux.HandleFunc("POST /rebalance", func(w http.ResponseWriter, r *http.Request) {
@@ -138,6 +195,19 @@ func newMux(c *cpacache.Cache[string, string]) *http.ServeMux {
 		json.NewEncoder(w).Encode(map[string]any{"quotas": quotas})
 	})
 
+	mux.HandleFunc("PUT /budgets", func(w http.ResponseWriter, r *http.Request) {
+		var budgets []uint64
+		if err := json.NewDecoder(r.Body).Decode(&budgets); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.SetBudgets(budgets); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
 	return mux
 }
 
@@ -146,7 +216,8 @@ func newMux(c *cpacache.Cache[string, string]) *http.ServeMux {
 // partition (hit rate falls off a cliff when the quota is below the loop
 // length). A churning tenant writes `keys` never-repeating keys per round
 // (log ingest): it gains nothing from cache space but keeps every set
-// full, so without quotas its evictions shred its neighbors.
+// full, so without quotas its evictions shred its neighbors; its entries
+// carry a TTL so the sweeper reclaims whatever replacement has not.
 type tenantWorkload struct {
 	name  string
 	keys  int
@@ -175,7 +246,8 @@ var driveBatch struct {
 }
 
 // drive runs `rounds` passes of every tenant's traffic and returns each
-// tenant's hit rate over the interval (stats deltas, not lifetime).
+// tenant's hit rate over the interval (stats deltas, not lifetime). The
+// churner's re-inserts carry a short TTL.
 func drive(c *cpacache.Cache[string, string], rounds int) [tenants]float64 {
 	const batch = 128
 	b := &driveBatch
@@ -186,7 +258,7 @@ func drive(c *cpacache.Cache[string, string], rounds int) [tenants]float64 {
 		b.missK = make([]string, 0, batch)
 		b.missV = make([]string, 0, batch)
 	}
-	flush := func(t int) {
+	flush := func(t int, churn bool) {
 		if len(b.keys) == 0 {
 			return
 		}
@@ -198,7 +270,15 @@ func drive(c *cpacache.Cache[string, string], rounds int) [tenants]float64 {
 				b.missV = append(b.missV, b.keys[i])
 			}
 		}
-		c.SetBatch(t, b.missK, b.missV)
+		if churn {
+			// Log entries are only read back briefly: a short TTL lets
+			// the sweeper reclaim them instead of waiting for eviction.
+			for i := range b.missK {
+				c.SetTenantTTL(t, b.missK[i], b.missV[i], 300*time.Millisecond)
+			}
+		} else {
+			c.SetBatch(t, b.missK, b.missV)
+		}
 		b.keys = b.keys[:0]
 	}
 	before := c.Stats()
@@ -214,10 +294,10 @@ func drive(c *cpacache.Cache[string, string], rounds int) [tenants]float64 {
 				}
 				b.keys = append(b.keys, key)
 				if len(b.keys) == batch {
-					flush(t)
+					flush(t, wl.churn)
 				}
 			}
-			flush(t)
+			flush(t, wl.churn)
 		}
 	}
 	after := c.Stats()
@@ -232,26 +312,63 @@ func drive(c *cpacache.Cache[string, string], rounds int) [tenants]float64 {
 	return rates
 }
 
-func runDemo(c *cpacache.Cache[string, string]) {
+func printRates(rates [tenants]float64) {
+	for t, wl := range demoWorkloads {
+		fmt.Printf("  %-18s %5d keys  hit rate %.3f\n", wl.name, wl.keys, rates[t])
+	}
+}
+
+func runDemo(interval time.Duration) {
+	// The ticker does all repartitioning in this demo. The sink prints
+	// each applied decision.
+	c, err := newCache(interval, cpacache.MetricsSink{
+		Rebalance: func(e cpacache.RebalanceEvent) {
+			if e.Applied {
+				fmt.Printf("  [ticker] rebalanced %v -> %v (%d profiled accesses)\n",
+					e.Old, e.New, e.SampledAccesses)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
 	fmt.Printf("capacity %d entries = %d shards x %d sets x %d ways; %d tenants\n\n",
 		c.Capacity(), c.Shards(), c.Sets(), c.Ways(), tenants)
 
 	fmt.Println("== interval 1: even quotas", c.Quotas(), "==")
-	rates := drive(c, 30)
-	for t, wl := range demoWorkloads {
-		fmt.Printf("  %-18s %5d keys  hit rate %.3f\n", wl.name, wl.keys, rates[t])
+	printRates(drive(c, 30))
+
+	fmt.Println("\n== keep driving; the background ticker repartitions on its own ==")
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Snapshot().Rebalances == 0 && time.Now().Before(deadline) {
+		drive(c, 2)
+	}
+	if c.Snapshot().Rebalances == 0 {
+		log.Fatal("auto-rebalance never fired (is the ticker disabled?)")
 	}
 
-	quotas, err := c.Rebalance()
-	if err != nil {
-		log.Fatal(err)
+	fmt.Println("\n== interval 2: ticker-chosen quotas", c.Quotas(), "==")
+	printRates(drive(c, 30))
+
+	// Give the sweeper a beat to reclaim the logger's TTL'd entries that
+	// nothing will ever touch again.
+	sweepWait := time.Now().Add(5 * time.Second)
+	for c.Snapshot().SweepExpired == 0 && time.Now().Before(sweepWait) {
+		time.Sleep(50 * time.Millisecond)
 	}
-	fmt.Println("\n== rebalanced from observed hit curves to", quotas, "==")
-	rates = drive(c, 30)
-	for t, wl := range demoWorkloads {
-		fmt.Printf("  %-18s %5d keys  hit rate %.3f\n", wl.name, wl.keys, rates[t])
+	snap := c.Snapshot()
+	fmt.Printf("\nlifecycle: %d auto/manual rebalances applied, %d held back by hysteresis,\n",
+		snap.Rebalances, snap.RebalancesSkipped)
+	var expir uint64
+	for _, ts := range snap.Tenants {
+		expir += ts.Expirations
 	}
+	fmt.Printf("%d TTL'd log entries reclaimed (%d by the background sweeper), %d bytes resident\n",
+		expir, snap.SweepExpired, snap.Tenants[0].Bytes+snap.Tenants[1].Bytes+snap.Tenants[2].Bytes)
 	fmt.Println("\nways moved toward the tenant whose miss curve said it could use")
-	fmt.Println("them; the churner is walled off at one way and loses nothing,")
-	fmt.Println("because a never-repeating key stream cannot hit no matter its share.")
+	fmt.Println("them — without any Rebalance call; the churner is walled off at one")
+	fmt.Println("way and loses nothing, because a never-repeating key stream cannot")
+	fmt.Println("hit no matter its share, and its TTL'd entries expire on their own.")
 }

@@ -9,6 +9,7 @@ package cpacache
 
 import (
 	"testing"
+	"time"
 
 	"repro/pkg/plru"
 )
@@ -117,6 +118,55 @@ func TestBatchSteadyStateZeroAlloc(t *testing.T) {
 	}
 	if evictions == 0 {
 		t.Fatal("workload never evicted; the guard did not cover the OnEvict buffer path")
+	}
+}
+
+// TestGetHitTTLZeroAlloc pins the warm lookup path at zero allocations
+// with TTL enabled — every probed entry carries a deadline, so the path
+// includes the per-set TTL word test and the coarse clock load.
+func TestGetHitTTLZeroAlloc(t *testing.T) {
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.BT), WithDefaultTTL(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const keys = 1024
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	i := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, ok := c.Get(i % keys); !ok {
+			t.Fatal("warm TTL entry missed")
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("GetHit with TTL allocates %v/op, want 0", n)
+	}
+}
+
+// TestSetChurnTTLCostZeroAlloc pins the evicting insert path at zero
+// allocations with the full lifecycle data plane on: default TTL
+// (deadline store per fill) and cost accounting (cost fn + gauge update).
+func TestSetChurnTTLCostZeroAlloc(t *testing.T) {
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.BT), WithDefaultTTL(time.Hour),
+		WithCost(func(k, v uint64) uint64 { return 8 }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	k := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Set(k, k)
+		k++
+	}); n != 0 {
+		t.Fatalf("SetChurn with TTL+cost allocates %v/op, want 0", n)
 	}
 }
 

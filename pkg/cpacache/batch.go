@@ -23,8 +23,33 @@ type batchScratch[K comparable, V any] struct {
 	order []int32 // key indices grouped by shard
 	start []int32 // len(shards)+1 group boundaries into order
 	cur   []int32 // per-shard placement cursors
-	evK   []K     // displaced entries awaiting OnEvict
+	evK   []K     // displaced live entries awaiting OnEvict
 	evV   []V
+	exK   []K // expired entries awaiting OnExpire
+	exV   []V
+}
+
+// flushCallbacks runs the buffered OnEvict/OnExpire callbacks (the owning
+// shard's lock must already be released) and clears the buffers.
+func (c *Cache[K, V]) flushCallbacks(s *batchScratch[K, V]) {
+	if len(s.evK) > 0 {
+		for j := range s.evK {
+			c.onEvict(s.evK[j], s.evV[j])
+		}
+		clear(s.evK) // drop references before pooling
+		clear(s.evV)
+		s.evK = s.evK[:0]
+		s.evV = s.evV[:0]
+	}
+	if len(s.exK) > 0 {
+		for j := range s.exK {
+			c.onExpire(s.exK[j], s.exV[j])
+		}
+		clear(s.exK)
+		clear(s.exV)
+		s.exK = s.exK[:0]
+		s.exV = s.exV[:0]
+	}
 }
 
 // getScratch returns a scratch sized for n keys, reusing a pooled one
@@ -121,6 +146,16 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 					}
 				}
 			}
+			if way >= 0 && sh.ttl[set]&(1<<uint(way)) != 0 && sh.deadline[base+way] <= c.now() {
+				// Expired lines never surface through GetBatch: reclaim
+				// and report a miss, exactly as GetTenant does.
+				exK, exV := c.expireLocked(sh, set, way)
+				if c.onExpire != nil {
+					s.exK = append(s.exK, exK)
+					s.exV = append(s.exV, exV)
+				}
+				way = -1
+			}
 			if way >= 0 {
 				sh.stats[tenant].Hits++
 				sh.pol.Touch(set, way, tenant)
@@ -134,6 +169,7 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 			}
 		}
 		sh.mu.Unlock()
+		c.flushCallbacks(s)
 	}
 	c.putScratch(s)
 	return hits
@@ -141,10 +177,10 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 
 // SetBatch inserts or updates every keys[i] → vals[i] pair on behalf of
 // tenant (the slices must be the same length). Victim selection, quota
-// enforcement and stats are identical to per-key SetTenant calls; each
-// shard's lock is taken once for its whole group of keys, and OnEvict
-// callbacks for the entries a shard displaced run right after that shard's
-// lock is released.
+// enforcement, default TTL and stats are identical to per-key SetTenant
+// calls; each shard's lock is taken once for its whole group of keys, and
+// OnEvict/OnExpire callbacks for the entries a shard displaced run right
+// after that shard's lock is released.
 func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
 	c.checkTenant(tenant)
 	if len(vals) != len(keys) {
@@ -155,6 +191,7 @@ func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
 	}
 	s := c.getScratch(len(keys))
 	c.groupByShard(s, keys)
+	dl := c.defaultDeadline()
 	for si := range c.shards {
 		lo, hi := s.start[si], s.start[si+1]
 		if lo == hi {
@@ -166,22 +203,18 @@ func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
 			i := int(oi)
 			set := c.setOf(s.hash[i])
 			tag := tagOf(s.hash[i])
-			evKey, evVal, ev := c.setLocked(sh, set, tenant, tag, keys[i], vals[i])
-			if ev && c.onEvict != nil {
+			evKey, evVal, kind := c.setLocked(sh, set, tenant, tag, keys[i], vals[i], dl)
+			switch {
+			case kind == evictLive && c.onEvict != nil:
 				s.evK = append(s.evK, evKey)
 				s.evV = append(s.evV, evVal)
+			case kind == evictTTL && c.onExpire != nil:
+				s.exK = append(s.exK, evKey)
+				s.exV = append(s.exV, evVal)
 			}
 		}
 		sh.mu.Unlock()
-		if len(s.evK) > 0 {
-			for j := range s.evK {
-				c.onEvict(s.evK[j], s.evV[j])
-			}
-			clear(s.evK) // drop references before pooling
-			clear(s.evV)
-			s.evK = s.evK[:0]
-			s.evV = s.evV[:0]
-		}
+		c.flushCallbacks(s)
 	}
 	c.putScratch(s)
 }

@@ -3,6 +3,7 @@ package cpacache
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/pkg/plru"
 )
@@ -77,6 +78,50 @@ func BenchmarkParallelGetSet(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGetHitTTL is BenchmarkGetHit with every entry carrying a
+// deadline (WithDefaultTTL): the acceptance bar for the TTL data plane is
+// that this stays 0 allocs/op and within 10% of the TTL-less GetHit
+// baseline in BENCH_cpacache.json.
+func BenchmarkGetHitTTL(b *testing.B) {
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.BT), WithDefaultTTL(time.Hour),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const keys = 1024
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(uint64(i) % keys)
+	}
+}
+
+// BenchmarkSetChurnTTLCost is BenchmarkSetChurn/BT with the full
+// lifecycle data plane on: default TTL and cost accounting.
+func BenchmarkSetChurnTTLCost(b *testing.B) {
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.BT), WithDefaultTTL(time.Hour),
+		WithCost(func(k, v uint64) uint64 { return 8 }),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		c.Set(k, k)
+	}
 }
 
 // batchSize is the per-call batch width of the batch benchmarks; ns/op

@@ -40,6 +40,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/pkg/cpapart"
 	"repro/pkg/plru"
@@ -65,17 +66,57 @@ type Cache[K comparable, V any] struct {
 	// steady-state batches do not allocate.
 	batchPool sync.Pool
 
-	// quotaMu serializes quota changes (SetQuotas / Rebalance); shard
-	// locks alone protect the per-shard mask copies. The ctl* fields are
-	// control-plane scratch guarded by quotaMu: Rebalance and SetQuotas
-	// reuse them so steady-state repartitioning does not allocate.
+	// TTL state (lifecycle.go). The TTL clock is either the user's WithNow
+	// function (nowFn non-nil) or a load of the coarse atomic the internal
+	// clock goroutine advances — see now(), which inlines the common
+	// atomic-load case. The clock is only consulted for slots whose
+	// per-set ttl bit is set, so caches without TTLs never read it on the
+	// hot path. ttlDefault is WithDefaultTTL in nanoseconds (0 = none).
+	ttlDefault int64
+	nowFn      func() int64
+	coarse     atomic.Int64
+	ttlArm     sync.Once
+
+	// callbacks and cost accounting (type-asserted in New).
+	onExpire func(K, V)
+	costFn   func(K, V) uint64
+
+	// background goroutine lifecycle (clock, sweeper, auto-rebalance).
+	// bgMu orders goroutine spawns against Close: spawns check closed
+	// under it, and Close flips closed under it before bg.Wait, so a
+	// lazy TTL arm racing Close can neither trip the WaitGroup's
+	// Add-during-Wait panic nor leak a goroutine past Close.
+	stop          chan struct{}
+	bg            sync.WaitGroup
+	bgMu          sync.Mutex
+	closed        bool
+	sweepInterval time.Duration
+	autoInterval  time.Duration
+
+	// auto-rebalance hysteresis and lifecycle counters.
+	hysteresis     float64
+	minSamples     uint64
+	sink           MetricsSink
+	nRebalanced    atomic.Uint64
+	nRebalanceSkip atomic.Uint64
+	nSweepExpired  atomic.Uint64
+
+	// quotaMu serializes quota changes (SetQuotas / Rebalance / budget
+	// updates); shard locks alone protect the per-shard mask copies. The
+	// ctl* fields are control-plane scratch guarded by quotaMu: Rebalance
+	// and SetQuotas reuse them so steady-state repartitioning does not
+	// allocate. budgets holds the SetBudgets byte budgets (nil = none).
 	quotaMu   sync.Mutex
 	quotas    []int
+	budgets   []uint64
 	ctlCurves [][]uint64
 	ctlAlloc  cpapart.Allocation
 	ctlMasks  []plru.WayMask
 	ctlBlocks []cpapart.Block
 	ctlDP     cpapart.Scratch
+	ctlCaps   []int
+	ctlBytes  []uint64
+	ctlBPW    []uint64
 }
 
 // shard is one independently locked slice of the cache: sets×ways slots
@@ -91,7 +132,19 @@ type shard[K comparable, V any] struct {
 	live  atomic.Int64 // written under mu, read lock-free by Len
 	stats []TenantStats
 	prof  profiler[K]
-	_     [8]uint64 // keep adjacent shards off one another's cache lines
+
+	// TTL state: ttl[set] has bit w set iff the slot at (set, way w)
+	// carries a deadline, so the hot path pays one word test before ever
+	// loading a deadline; deadline[slot] is the expiry instant in the
+	// cache clock's nanoseconds (meaningful only when the bit is set).
+	ttl      []uint64
+	deadline []int64
+	// cost[slot] is the WithCost measurement taken at fill time (nil
+	// when cost accounting is off); sweepCur is the sweeper's set cursor.
+	cost     []uint64
+	sweepCur int
+
+	_ [8]uint64 // keep adjacent shards off one another's cache lines
 }
 
 // setTag stores the tag byte of `way` into the set's packed tag words
@@ -102,18 +155,24 @@ func (sh *shard[K, V]) setTag(tbase, way int, tag uint8) {
 	*w = *w&^(0xFF<<shift) | uint64(tag)<<shift
 }
 
-// TenantStats counts one tenant's cache traffic.
+// TenantStats counts one tenant's cache traffic. Hits, Misses, Evictions
+// and Expirations are monotonic counters; Bytes is a gauge of the
+// tenant's currently resident cost (only maintained under WithCost).
 type TenantStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64 // lines this tenant had inserted that were displaced
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64 // lines this tenant had inserted that were displaced live
+	Expirations uint64 // lines this tenant had inserted that were reclaimed after their TTL
+	Bytes       uint64 // resident WithCost total for lines this tenant inserted
 }
 
-// add accumulates o into s.
+// add accumulates o into s (per-shard Bytes parts sum to the gauge).
 func (s *TenantStats) add(o TenantStats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+	s.Bytes += o.Bytes
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any access.
@@ -126,12 +185,17 @@ func (s TenantStats) HitRate() float64 {
 
 // New builds a Cache from the options. The defaults are 1 shard, 64 sets,
 // 8 ways, plru.BT replacement and a single tenant owning every way.
+//
+// Caches built with background features — a default TTL or SetTTL use
+// (clock + sweeper goroutines) or WithAutoRebalance (ticker goroutine) —
+// should be released with Close when no longer needed.
 func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 	s, err := newSettings(opts)
 	if err != nil {
 		return nil, err
 	}
-	var onEvict func(K, V)
+	var onEvict, onExpire func(K, V)
+	var costFn func(K, V) uint64
 	if s.onEvict != nil {
 		fn, ok := s.onEvict.(func(K, V))
 		if !ok {
@@ -139,18 +203,46 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		}
 		onEvict = fn
 	}
+	if s.onExpire != nil {
+		fn, ok := s.onExpire.(func(K, V))
+		if !ok {
+			return nil, fmt.Errorf("cpacache: WithOnExpire callback is %T, want func(K, V) matching the cache's type parameters", s.onExpire)
+		}
+		onExpire = fn
+	}
+	if s.costFn != nil {
+		fn, ok := s.costFn.(func(K, V) uint64)
+		if !ok {
+			return nil, fmt.Errorf("cpacache: WithCost function is %T, want func(K, V) uint64 matching the cache's type parameters", s.costFn)
+		}
+		costFn = fn
+	}
 	c := &Cache[K, V]{
-		shards:    make([]shard[K, V], s.shards),
-		seed:      maphash.MakeSeed(),
-		sets:      s.sets,
-		ways:      s.ways,
-		tenants:   s.tenants,
-		policy:    s.policy,
-		onEvict:   onEvict,
-		shardMask: uint64(s.shards - 1),
-		waysMask:  uint64(plru.Full(s.ways)),
-		tagWords:  tagWordsFor(s.ways),
-		quotas:    evenQuotas(s.tenants, s.ways),
+		shards:        make([]shard[K, V], s.shards),
+		seed:          maphash.MakeSeed(),
+		sets:          s.sets,
+		ways:          s.ways,
+		tenants:       s.tenants,
+		policy:        s.policy,
+		onEvict:       onEvict,
+		onExpire:      onExpire,
+		costFn:        costFn,
+		shardMask:     uint64(s.shards - 1),
+		waysMask:      uint64(plru.Full(s.ways)),
+		tagWords:      tagWordsFor(s.ways),
+		quotas:        evenQuotas(s.tenants, s.ways),
+		ttlDefault:    int64(s.defaultTTL),
+		stop:          make(chan struct{}),
+		sweepInterval: s.sweepInterval,
+		autoInterval:  s.autoRebalance,
+		hysteresis:    s.hysteresis,
+		minSamples:    s.minSamples,
+		sink:          s.sink,
+	}
+	if s.nowFn != nil {
+		c.nowFn = s.nowFn
+	} else {
+		c.coarse.Store(time.Now().UnixNano())
 	}
 	if s.sets&(s.sets-1) == 0 {
 		c.setMask = uint64(s.sets - 1)
@@ -173,10 +265,23 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		}
 		sh.masks = make([]plru.WayMask, s.tenants)
 		sh.stats = make([]TenantStats, s.tenants)
+		// One TTL word per set is always present (the hot path tests it
+		// unconditionally); the sets×ways deadline array is allocated
+		// lazily by armTTL, so TTL-free caches never carry it.
+		sh.ttl = make([]uint64, s.sets)
+		if costFn != nil {
+			sh.cost = make([]uint64, s.sets*s.ways)
+		}
 		sh.prof.init(s.sets, s.ways, s.tenants, s.sampleEvery)
 	}
 	if err := c.SetQuotas(c.quotas); err != nil {
 		return nil, err
+	}
+	if c.ttlDefault > 0 {
+		c.armTTL()
+	}
+	if c.autoInterval > 0 {
+		c.goBG(c.autoRebalanceLoop)
 	}
 	return c, nil
 }
@@ -264,11 +369,23 @@ func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
 		sh.prof.record(set, tenant, key)
 	}
 	// Probe is inlined here (not findLocked) to keep the hottest path free
-	// of call overhead: one SWAR match per tag word, then key-confirm.
+	// of call overhead: one SWAR match per tag word, then key-confirm. The
+	// TTL test costs one word load when the slot carries no deadline; the
+	// clock is only consulted when it does.
 	for j := 0; j < c.tagWords; j++ {
 		for m := matchTag(sh.tags[tbase+j], tag); m != 0; m &= m - 1 {
 			w := j*8 + markWay(bits.TrailingZeros64(m))
 			if sh.keys[base+w] == key {
+				if sh.ttl[set]&(1<<uint(w)) != 0 && sh.deadline[base+w] <= c.now() {
+					exK, exV := c.expireLocked(sh, set, w)
+					sh.stats[tenant].Misses++
+					sh.mu.Unlock()
+					if c.onExpire != nil {
+						c.onExpire(exK, exV)
+					}
+					var zero V
+					return zero, false
+				}
 				sh.stats[tenant].Hits++
 				sh.pol.Touch(set, w, tenant)
 				v := sh.vals[base+w]
@@ -283,14 +400,34 @@ func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
 	return zero, false
 }
 
-// setLocked inserts or updates key in its set, returning the displaced
-// entry if the fill evicted one. Caller holds sh.mu and must run the
-// OnEvict callback (if any) after releasing it.
-func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key K, value V) (evKey K, evVal V, ev bool) {
+// displaced-entry kinds returned by setLocked.
+const (
+	evNone    = iota // nothing displaced
+	evictLive        // a live line was displaced (route to OnEvict)
+	evictTTL         // the displaced line's TTL had lapsed (route to OnExpire)
+)
+
+// setLocked inserts or updates key in its set with the given expiry
+// deadline (0 = none), returning the displaced entry and its kind if the
+// fill displaced one. Caller holds sh.mu and must run the matching
+// callback (OnEvict for evictLive, OnExpire for evictTTL) after releasing
+// it. An update whose old line already expired surfaces the old value as
+// an expiration rather than silently overwriting it, so expired values
+// never vanish uncounted.
+func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key K, value V, deadline int64) (evKey K, evVal V, kind int) {
 	base := set * c.ways
 	tbase := set * c.tagWords
 	way := c.findLocked(sh, base, tbase, tag, key)
-	if way < 0 {
+	if way >= 0 {
+		// In-place update of the resident line.
+		if sh.ttl[set]&(1<<uint(way)) != 0 && sh.deadline[base+way] <= c.now() {
+			evKey, evVal, kind = sh.keys[base+way], sh.vals[base+way], evictTTL
+			sh.stats[sh.owner[base+way]].Expirations++
+		}
+		if sh.cost != nil {
+			sh.stats[sh.owner[base+way]].Bytes -= sh.cost[base+way]
+		}
+	} else {
 		// One zero-byte pass over the tag words finds every empty way:
 		// prefer one inside the tenant's own partition, then anywhere in
 		// the set — filling unowned empty ways does not displace anyone,
@@ -304,64 +441,157 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 			way = bits.TrailingZeros64(pick)
 			sh.live.Add(1)
 		} else {
-			// Eviction replaces a live line with a live line: the counter
-			// is unchanged, so no atomic touches the churn path.
-			way = sh.pol.Victim(set, tenant, sh.masks[tenant])
-			evKey, evVal, ev = sh.keys[base+way], sh.vals[base+way], true
-			sh.stats[sh.owner[base+way]].Evictions++
+			// Like empty ways, already-expired lines displace nobody:
+			// prefer one inside the tenant's partition, then anywhere in
+			// the set, before asking the policy to evict a live line.
+			// The scan costs nothing when no way carries a deadline.
+			if marked := sh.ttl[set] & c.waysMask; marked != 0 {
+				now := c.now()
+				var lapsed uint64
+				for e := marked; e != 0; e &= e - 1 {
+					w := bits.TrailingZeros64(e)
+					if sh.deadline[base+w] <= now {
+						lapsed |= 1 << uint(w)
+					}
+				}
+				if pick := lapsed & uint64(sh.masks[tenant]); pick != 0 {
+					way = bits.TrailingZeros64(pick)
+				} else if lapsed != 0 {
+					way = bits.TrailingZeros64(lapsed)
+				}
+			}
+			if way >= 0 {
+				evKey, evVal, kind = sh.keys[base+way], sh.vals[base+way], evictTTL
+				sh.stats[sh.owner[base+way]].Expirations++
+			} else {
+				// Eviction replaces a live line with a live line: the
+				// counter is unchanged, so no atomic touches the churn
+				// path. A victim whose TTL lapsed between the scan above
+				// and here cannot exist (we hold the lock), but a line
+				// with a future deadline is still live — Evictions.
+				way = sh.pol.Victim(set, tenant, sh.masks[tenant])
+				evKey, evVal, kind = sh.keys[base+way], sh.vals[base+way], evictLive
+				sh.stats[sh.owner[base+way]].Evictions++
+			}
+			if sh.cost != nil {
+				sh.stats[sh.owner[base+way]].Bytes -= sh.cost[base+way]
+			}
 		}
 	}
 	sh.keys[base+way] = key
 	sh.vals[base+way] = value
 	sh.owner[base+way] = int16(tenant)
 	sh.setTag(tbase, way, tag)
+	if deadline != 0 {
+		sh.ttl[set] |= 1 << uint(way)
+		sh.deadline[base+way] = deadline
+	} else {
+		sh.ttl[set] &^= 1 << uint(way)
+	}
 	sh.pol.Touch(set, way, tenant)
-	return evKey, evVal, ev
+	if sh.cost != nil {
+		cost := c.costFn(key, value)
+		sh.cost[base+way] = cost
+		sh.stats[tenant].Bytes += cost
+	}
+	return evKey, evVal, kind
 }
 
 // SetTenant inserts or updates key on behalf of the given tenant. On
 // insertion into a full set the victim is chosen by the replacement policy
 // restricted to the tenant's way quota mask, so one tenant's fills can
-// never displace more lines than its quota allows. The OnEvict callback,
-// if configured, runs after the shard lock is released.
+// never displace more lines than its quota allows. The entry receives the
+// cache's default TTL, if one is configured (override per entry with
+// SetTenantTTL or SetTTL). The OnEvict/OnExpire callbacks, if configured,
+// run after the shard lock is released.
 func (c *Cache[K, V]) SetTenant(tenant int, key K, value V) {
 	c.checkTenant(tenant)
 	sh, set, tag := c.locate(key)
+	dl := c.defaultDeadline()
 
 	sh.mu.Lock()
-	evKey, evVal, ev := c.setLocked(sh, set, tenant, tag, key, value)
+	evKey, evVal, kind := c.setLocked(sh, set, tenant, tag, key, value, dl)
 	sh.mu.Unlock()
 
-	if ev && c.onEvict != nil {
-		c.onEvict(evKey, evVal)
+	c.displaced(evKey, evVal, kind)
+}
+
+// displaced routes one setLocked result to the matching callback. Called
+// after the shard lock is released.
+func (c *Cache[K, V]) displaced(evKey K, evVal V, kind int) {
+	switch kind {
+	case evictLive:
+		if c.onEvict != nil {
+			c.onEvict(evKey, evVal)
+		}
+	case evictTTL:
+		if c.onExpire != nil {
+			c.onExpire(evKey, evVal)
+		}
 	}
 }
 
-// Delete removes key from the cache and reports whether it was present.
-// The freed way's tag byte is cleared and the replacement policy's recency
-// state for it invalidated, so the slot is both reusable by the next fill
-// and first in line for victim selection. Delete never triggers OnEvict
-// (that callback is reserved for capacity evictions).
+// Delete removes key from the cache and reports whether it was present
+// and live. The freed way's tag byte is cleared and the replacement
+// policy's recency state for it invalidated, so the slot is both reusable
+// by the next fill and first in line for victim selection. Delete never
+// triggers OnEvict (that callback is reserved for capacity evictions);
+// deleting a key whose TTL already lapsed reclaims it as an expiration
+// and returns false, exactly as if the sweeper had gotten there first.
 func (c *Cache[K, V]) Delete(key K) bool {
 	sh, set, tag := c.locate(key)
 	base := set * c.ways
 	tbase := set * c.tagWords
-	var zeroK K
-	var zeroV V
 
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	w := c.findLocked(sh, base, tbase, tag, key)
 	if w < 0 {
+		sh.mu.Unlock()
 		return false
 	}
-	sh.keys[base+w] = zeroK
-	sh.vals[base+w] = zeroV
-	sh.owner[base+w] = -1
-	sh.setTag(tbase, w, tagEmpty)
-	sh.pol.Invalidate(set, w)
-	sh.live.Add(-1)
+	if sh.ttl[set]&(1<<uint(w)) != 0 && sh.deadline[base+w] <= c.now() {
+		exK, exV := c.expireLocked(sh, set, w)
+		sh.mu.Unlock()
+		if c.onExpire != nil {
+			c.onExpire(exK, exV)
+		}
+		return false
+	}
+	c.clearSlotLocked(sh, set, w)
+	sh.mu.Unlock()
 	return true
+}
+
+// clearSlotLocked empties the slot at (set, way): key/value zeroed, owner
+// released, tag byte cleared, TTL bit dropped, cost refunded and the
+// policy's recency invalidated. Caller holds sh.mu.
+func (c *Cache[K, V]) clearSlotLocked(sh *shard[K, V], set, way int) {
+	base := set * c.ways
+	var zeroK K
+	var zeroV V
+	if sh.cost != nil {
+		sh.stats[sh.owner[base+way]].Bytes -= sh.cost[base+way]
+		sh.cost[base+way] = 0
+	}
+	sh.keys[base+way] = zeroK
+	sh.vals[base+way] = zeroV
+	sh.owner[base+way] = -1
+	sh.setTag(set*c.tagWords, way, tagEmpty)
+	sh.ttl[set] &^= 1 << uint(way)
+	sh.pol.Invalidate(set, way)
+	sh.live.Add(-1)
+}
+
+// expireLocked reclaims the expired slot at (set, way), counting the
+// expiration against the tenant that inserted it, and returns the expired
+// pair for the caller to hand to OnExpire outside the lock. Caller holds
+// sh.mu and must have checked the deadline.
+func (c *Cache[K, V]) expireLocked(sh *shard[K, V], set, way int) (K, V) {
+	base := set * c.ways
+	k, v := sh.keys[base+way], sh.vals[base+way]
+	sh.stats[sh.owner[base+way]].Expirations++
+	c.clearSlotLocked(sh, set, way)
+	return k, v
 }
 
 // Len returns the number of live entries across all shards. It reads each
@@ -516,33 +746,161 @@ func (c *Cache[K, V]) missCurvesInto(curves [][]uint64) {
 // next interval and returns the new quotas. It runs cpapart.MinMisses
 // (exact DP), or cpapart.BuddyMinMisses under BT so the result stays
 // realizable by force vectors — the paper's repartitioning step, with the
-// profile interval chosen by the caller's Rebalance cadence. With a single
-// tenant Rebalance is a no-op that still resets the profile. Steady-state
-// Rebalance reuses control-plane scratch held on the Cache; the only
-// per-call allocation is the returned quota slice.
+// profile interval chosen by the caller's Rebalance cadence (or the
+// WithAutoRebalance ticker's). When byte budgets are installed
+// (SetBudgets), they are first translated into per-tenant way caps
+// (cpapart.WayCaps, from each tenant's observed resident bytes per way)
+// and the capped allocators keep every tenant inside its budget. With a
+// single tenant Rebalance is a no-op that still resets the profile.
+// Steady-state Rebalance reuses control-plane scratch held on the Cache;
+// the only per-call allocation is the returned quota slice.
 func (c *Cache[K, V]) Rebalance() ([]int, error) {
+	quotas, _, err := c.rebalance(false)
+	return quotas, err
+}
+
+// rebalance is the shared manual/auto repartitioning cycle. Manual calls
+// always install; auto calls apply the hysteresis rule — install only
+// when the window holds at least minSamples profiled accesses and the
+// proposal predicts at least a `hysteresis` fraction fewer misses than
+// the current quotas, or when the current quotas violate the budget caps.
+// The profile resets whenever a decision was made on a full window, so a
+// skipped tick starts a fresh window instead of letting stale samples
+// accumulate.
+func (c *Cache[K, V]) rebalance(auto bool) ([]int, bool, error) {
 	// quotaMu spans the whole profile-read + allocate + install cycle so
 	// concurrent Rebalance/SetQuotas calls serialize as units (shard locks
 	// are only ever taken inside quotaMu, never the other way around).
 	c.quotaMu.Lock()
-	defer c.quotaMu.Unlock()
 	c.missCurvesInto(c.ctlCurves)
+	var samples uint64
+	for t := range c.ctlCurves {
+		samples += c.ctlCurves[t][0] // curve at 0 ways = every profiled access
+	}
+	caps := c.wayCapsLocked()
 	switch {
 	case c.tenants == 1:
 		c.ctlAlloc = append(c.ctlAlloc[:0], c.ways)
 	case c.policy == plru.BT:
-		c.ctlAlloc = cpapart.BuddyMinMissesInto(c.ctlAlloc, &c.ctlDP, c.ctlCurves, c.ways)
+		if caps != nil {
+			caps = cpapart.RelaxBuddyCaps(caps, c.budgets, c.ways)
+		}
+		c.ctlAlloc = cpapart.BuddyMinMissesCappedInto(c.ctlAlloc, &c.ctlDP, c.ctlCurves, c.ways, caps)
 	default:
-		c.ctlAlloc = cpapart.MinMisses{}.AllocateInto(c.ctlAlloc, &c.ctlDP, c.ctlCurves, c.ways)
+		c.ctlAlloc = cpapart.MinMisses{}.AllocateCappedInto(c.ctlAlloc, &c.ctlDP, c.ctlCurves, c.ways, caps)
 	}
-	if err := c.setQuotasLocked(c.ctlAlloc); err != nil {
-		return nil, err
+
+	predOld := cpapart.TotalMisses(c.ctlCurves, cpapart.Allocation(c.quotas))
+	predNew := cpapart.TotalMisses(c.ctlCurves, c.ctlAlloc)
+	apply, evaluated := true, true
+	if auto {
+		overBudget := capsViolated(c.quotas, caps)
+		evaluated = samples >= c.minSamples
+		// Strict improvement required: a zero-gain proposal (including
+		// the predOld == 0 all-hits window) must not churn the masks no
+		// matter the hysteresis fraction.
+		gainOK := evaluated && predNew < predOld &&
+			float64(predOld-predNew) >= c.hysteresis*float64(predOld)
+		apply = gainOK || overBudget
 	}
+
+	emit := c.sink.Rebalance != nil
+	var old []int
+	if emit {
+		old = append([]int(nil), c.quotas...)
+	}
+	if apply {
+		if err := c.setQuotasLocked(c.ctlAlloc); err != nil {
+			c.quotaMu.Unlock()
+			return nil, false, err
+		}
+	}
+	if apply || evaluated {
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			sh.prof.reset()
+			sh.mu.Unlock()
+		}
+	}
+	quotas := append([]int(nil), c.quotas...)
+	var ev RebalanceEvent
+	if emit {
+		ev = RebalanceEvent{
+			Auto:               auto,
+			Applied:            apply,
+			Old:                old,
+			New:                append([]int(nil), c.ctlAlloc...),
+			SampledAccesses:    samples,
+			PredictedMissesOld: predOld,
+			PredictedMissesNew: predNew,
+		}
+	}
+	// Counters bump before quotaMu releases so a Snapshot can never see
+	// the new quotas installed while Rebalances still reads the old count.
+	if apply {
+		c.nRebalanced.Add(1)
+	} else {
+		c.nRebalanceSkip.Add(1)
+	}
+	c.quotaMu.Unlock()
+
+	if emit {
+		c.sink.Rebalance(ev)
+	}
+	return quotas, apply, nil
+}
+
+// capsViolated reports whether any installed quota exceeds its way cap.
+func capsViolated(quotas, caps []int) bool {
+	if caps == nil {
+		return false
+	}
+	for t, q := range quotas {
+		if q > caps[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// wayCapsLocked translates the installed byte budgets into per-tenant way
+// caps from each tenant's observed resident bytes, or returns nil when no
+// budgets are set. The bytes-per-way estimate for a tenant is its
+// resident bytes divided by its current quota; tenants with no resident
+// bytes fall back to the cache-wide average (no data, no cap). Caller
+// holds quotaMu.
+func (c *Cache[K, V]) wayCapsLocked() []int {
+	if c.budgets == nil {
+		return nil
+	}
+	if cap(c.ctlBytes) < c.tenants {
+		c.ctlBytes = make([]uint64, c.tenants)
+		c.ctlBPW = make([]uint64, c.tenants)
+	}
+	bytes := c.ctlBytes[:c.tenants]
+	bpw := c.ctlBPW[:c.tenants]
+	clear(bytes)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		sh.prof.reset()
+		for t := range bytes {
+			bytes[t] += sh.stats[t].Bytes
+		}
 		sh.mu.Unlock()
 	}
-	return append([]int(nil), c.ctlAlloc...), nil
+	var total uint64
+	for _, b := range bytes {
+		total += b
+	}
+	avg := total / uint64(c.ways)
+	for t := range bpw {
+		if bytes[t] > 0 {
+			bpw[t] = bytes[t] / uint64(c.quotas[t])
+		} else {
+			bpw[t] = avg
+		}
+	}
+	c.ctlCaps = cpapart.WayCaps(c.ctlCaps, c.budgets, bpw, c.ways)
+	return c.ctlCaps
 }

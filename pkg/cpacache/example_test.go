@@ -2,6 +2,8 @@ package cpacache_test
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/pkg/cpacache"
 	"repro/pkg/plru"
@@ -45,4 +47,80 @@ func Example() {
 	// Output:
 	// initial quotas: [4 4]
 	// rebalanced quotas: [7 1]
+}
+
+// Entries can carry a time-to-live: a default for every insert
+// (WithDefaultTTL), or per entry via SetTenantTTL/SetTTL. Expired entries
+// are never returned; they are reclaimed lazily on access and by an
+// incremental background sweeper. This example drives a deterministic
+// manual clock through WithNow — production caches simply omit it and get
+// a coarse internal clock.
+func Example_ttl() {
+	var clock atomic.Int64
+	clock.Store(1) // any nonzero origin
+	c, err := cpacache.New[string, string](
+		cpacache.WithDefaultTTL(time.Second),
+		cpacache.WithNow(clock.Load),
+		cpacache.WithOnExpire(func(k, v string) { fmt.Println("expired:", k) }),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	c.Set("session", "alice")            // default TTL: 1s
+	c.SetTenantTTL(0, "config", "on", 0) // TTL 0 pins the entry
+	c.SetTTL("session", 2*time.Second)   // re-arm an existing entry
+
+	clock.Add(int64(3 * time.Second))
+
+	_, ok := c.Get("session")
+	fmt.Println("session alive:", ok)
+	_, ok = c.Get("config")
+	fmt.Println("config alive:", ok)
+	// Output:
+	// expired: session
+	// session alive: false
+	// config alive: true
+}
+
+// With a cost function the cache keeps per-tenant resident byte gauges,
+// and SetBudgets turns byte budgets into way caps at Rebalance time: the
+// budgeted tenant cannot be handed more ways than its bytes allow, no
+// matter how hungry its miss curve looks.
+func Example_budgets() {
+	c, err := cpacache.New[string, []byte](
+		cpacache.WithSets(1), cpacache.WithWays(8),
+		cpacache.WithPolicy(plru.LRU),
+		cpacache.WithPartitions(2),
+		cpacache.WithProfileSampling(1),
+		cpacache.WithCost(func(k string, v []byte) uint64 { return uint64(len(v)) }),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	// Tenant 0 may hold ~200 bytes; tenant 1 is unlimited.
+	if err := c.SetBudgets([]uint64{200, 0}); err != nil {
+		panic(err)
+	}
+
+	// Both tenants loop hungrily over 6 keys of 100-byte values.
+	for round := 0; round < 100; round++ {
+		for tenant := 0; tenant < 2; tenant++ {
+			for i := 0; i < 6; i++ {
+				key := fmt.Sprintf("t%d-%d", tenant, i)
+				if _, ok := c.GetTenant(tenant, key); !ok {
+					c.SetTenant(tenant, key, make([]byte, 100))
+				}
+			}
+		}
+	}
+	quotas, err := c.Rebalance()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("quotas under a 200-byte budget:", quotas)
+	// Output:
+	// quotas under a 200-byte budget: [2 6]
 }

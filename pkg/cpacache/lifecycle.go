@@ -1,0 +1,326 @@
+package cpacache
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Lifecycle management: TTL/expiry, the background goroutines (coarse
+// clock, incremental sweeper, auto-rebalance ticker) and byte budgets.
+//
+// Expiry is hardware-flavored like the rest of the cache: each set keeps
+// one word with a bit per way marking slots that carry a deadline, so the
+// lookup hot path pays a single word test when the probed line has no TTL
+// and one clock read when it does — the Get path stays allocation-free
+// and within noise of the TTL-less probe. Reclamation is lazy (any
+// lookup, Set or Delete that lands on an expired line reclaims it) plus
+// an incremental background sweeper that walks a chunk of every shard's
+// sets per tick, so idle expired entries are bounded without a
+// stop-the-world scan.
+//
+// The TTL clock is deliberately coarse: a background goroutine stores
+// time.Now().UnixNano() into an atomic every clockResolution, and the hot
+// path only ever loads that atomic. WithNow replaces the clock entirely
+// (no goroutine), which callers use to share an existing coarse clock or
+// to drive expiry deterministically in tests.
+
+// clockResolution is how often the internal coarse clock advances, and
+// therefore the precision of TTL expiry under the built-in clock.
+const clockResolution = time.Millisecond
+
+// sweepChunks is the number of ticks a full sweep pass is spread over:
+// each tick sweeps ceil(sets/sweepChunks) sets per shard.
+const sweepChunks = 16
+
+// now returns the TTL clock reading. The common case — no WithNow — is a
+// nil check plus one atomic load, small enough to inline into the lookup
+// hot path; an indirect call happens only when the caller supplied its
+// own clock.
+func (c *Cache[K, V]) now() int64 {
+	if c.nowFn != nil {
+		return c.nowFn()
+	}
+	return c.coarse.Load()
+}
+
+// armTTL starts the TTL machinery on first use (construction with a
+// default TTL, or the first SetTTL/SetTenantTTL call): the coarse clock
+// goroutine — unless WithNow supplied one — and the incremental sweeper,
+// unless sweeping is disabled. Idempotent and cheap after the first call.
+func (c *Cache[K, V]) armTTL() {
+	c.ttlArm.Do(func() {
+		// Allocate the per-slot deadline arrays now that TTLs exist. A
+		// deadline is only ever read for a slot whose per-set TTL bit is
+		// set, and bits are only set by writes that happen after this
+		// (under the shard lock), so every reader finds the array.
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			sh.deadline = make([]int64, c.sets*c.ways)
+			sh.mu.Unlock()
+		}
+		if c.nowFn == nil {
+			// The coarse clock was last stored at New and has been idle
+			// since; catch it up before the first deadline is computed
+			// from it, or a TTL shorter than the cache's age would be
+			// born already expired.
+			c.coarse.Store(time.Now().UnixNano())
+			c.goBG(c.clockLoop)
+		}
+		if c.sweepInterval > 0 {
+			c.goBG(c.sweepLoop)
+		}
+	})
+}
+
+// goBG spawns a background goroutine tracked by the WaitGroup, unless the
+// cache is already closed (a lazy TTL arm can race Close). The bgMu
+// ordering guarantees Close never observes a spawn after its bg.Wait
+// began: either the spawn sees closed and does nothing, or Close's Wait
+// sees the incremented counter.
+func (c *Cache[K, V]) goBG(fn func()) {
+	c.bgMu.Lock()
+	defer c.bgMu.Unlock()
+	if c.closed {
+		return
+	}
+	c.bg.Add(1)
+	go fn()
+}
+
+// clockLoop advances the coarse TTL clock until Close.
+func (c *Cache[K, V]) clockLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(clockResolution)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.coarse.Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// sweepLoop runs the incremental expiry sweeper until Close.
+func (c *Cache[K, V]) sweepLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(c.sweepInterval)
+	defer t.Stop()
+	chunk := (c.sets + sweepChunks - 1) / sweepChunks
+	var exK []K
+	var exV []V
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			scanned, expired := 0, 0
+			for i := range c.shards {
+				exK, exV = c.sweepShard(&c.shards[i], chunk, exK[:0], exV[:0])
+				scanned += chunk
+				expired += len(exK)
+				for j := range exK {
+					if c.onExpire != nil {
+						c.onExpire(exK[j], exV[j])
+					}
+				}
+				clear(exK)
+				clear(exV)
+			}
+			if expired > 0 {
+				c.nSweepExpired.Add(uint64(expired))
+				if c.sink.Sweep != nil {
+					c.sink.Sweep(SweepEvent{SetsScanned: scanned, Expired: expired})
+				}
+			}
+		}
+	}
+}
+
+// sweepShard scans the next `chunk` sets of one shard from its cursor,
+// reclaiming expired entries. The expired pairs are appended to exK/exV
+// for the caller to hand to OnExpire after the lock is released.
+func (c *Cache[K, V]) sweepShard(sh *shard[K, V], chunk int, exK []K, exV []V) ([]K, []V) {
+	sh.mu.Lock()
+	now := c.now()
+	for n := 0; n < chunk; n++ {
+		set := sh.sweepCur
+		sh.sweepCur++
+		if sh.sweepCur >= c.sets {
+			sh.sweepCur = 0
+		}
+		w := sh.ttl[set]
+		if w == 0 {
+			continue
+		}
+		base := set * c.ways
+		for ; w != 0; w &= w - 1 {
+			way := bits.TrailingZeros64(w)
+			if sh.deadline[base+way] <= now {
+				k, v := c.expireLocked(sh, set, way)
+				exK = append(exK, k)
+				exV = append(exV, v)
+			}
+		}
+	}
+	sh.mu.Unlock()
+	return exK, exV
+}
+
+// autoRebalanceLoop drives rebalance(auto) every WithAutoRebalance
+// interval until Close.
+func (c *Cache[K, V]) autoRebalanceLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(c.autoInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			// The only possible error is an invalid computed allocation,
+			// which would be a bug surfaced by tests, not a runtime
+			// condition a background loop can act on.
+			_, _, _ = c.rebalance(true)
+		}
+	}
+}
+
+// Close stops the cache's background goroutines (coarse clock, sweeper,
+// auto-rebalance ticker) and waits for them to exit. The cache itself
+// remains usable for data-plane operations, but with the built-in clock
+// stopped entries no longer expire and quotas no longer adjust on their
+// own. Close is idempotent and always returns nil (the error return
+// satisfies io.Closer).
+func (c *Cache[K, V]) Close() error {
+	c.bgMu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.stop)
+	}
+	c.bgMu.Unlock()
+	c.bg.Wait()
+	return nil
+}
+
+// defaultDeadline returns the expiry instant for an entry inserted now
+// under the default TTL, or 0 when no default is configured.
+func (c *Cache[K, V]) defaultDeadline() int64 {
+	if c.ttlDefault == 0 {
+		return 0
+	}
+	return c.now() + c.ttlDefault
+}
+
+// deadlineFor converts a per-entry TTL into an expiry instant: ttl > 0
+// expires after ttl, ttl == 0 never expires (overriding any default), and
+// ttl < 0 yields an already-lapsed deadline (the entry is reclaimed on
+// its next touch or sweep).
+func (c *Cache[K, V]) deadlineFor(ttl time.Duration) int64 {
+	if ttl == 0 {
+		return 0
+	}
+	return c.now() + int64(ttl)
+}
+
+// SetTenantTTL inserts or updates key → value on behalf of tenant with an
+// explicit TTL, overriding any WithDefaultTTL for this entry: ttl > 0
+// expires the entry after ttl, ttl == 0 pins it (no expiry), ttl < 0
+// inserts it already expired. Quota enforcement, eviction and callbacks
+// behave exactly as SetTenant.
+func (c *Cache[K, V]) SetTenantTTL(tenant int, key K, value V, ttl time.Duration) {
+	c.checkTenant(tenant)
+	// A ttl of 0 pins the entry — no deadline will ever be stored, so a
+	// TTL-free cache doesn't pay for the clock, sweeper and deadline
+	// arrays just because a caller pins defensively.
+	if ttl != 0 {
+		c.armTTL()
+	}
+	sh, set, tag := c.locate(key)
+	dl := c.deadlineFor(ttl)
+
+	sh.mu.Lock()
+	evKey, evVal, kind := c.setLocked(sh, set, tenant, tag, key, value, dl)
+	sh.mu.Unlock()
+
+	c.displaced(evKey, evVal, kind)
+}
+
+// SetTTL re-arms the TTL of an already-resident entry: ttl > 0 expires it
+// after ttl from now, ttl == 0 removes its deadline, ttl < 0 marks it
+// already expired. It reports whether the key was resident and live; a
+// key whose previous TTL had already lapsed is reclaimed and false is
+// returned. The entry's value, owner and recency are untouched.
+func (c *Cache[K, V]) SetTTL(key K, ttl time.Duration) bool {
+	if ttl != 0 {
+		c.armTTL() // a 0 pin never stores a deadline: no machinery needed
+	}
+	sh, set, tag := c.locate(key)
+	base := set * c.ways
+	tbase := set * c.tagWords
+
+	sh.mu.Lock()
+	w := c.findLocked(sh, base, tbase, tag, key)
+	if w < 0 {
+		sh.mu.Unlock()
+		return false
+	}
+	if sh.ttl[set]&(1<<uint(w)) != 0 && sh.deadline[base+w] <= c.now() {
+		exK, exV := c.expireLocked(sh, set, w)
+		sh.mu.Unlock()
+		if c.onExpire != nil {
+			c.onExpire(exK, exV)
+		}
+		return false
+	}
+	if dl := c.deadlineFor(ttl); dl != 0 {
+		sh.ttl[set] |= 1 << uint(w)
+		sh.deadline[base+w] = dl
+	} else {
+		sh.ttl[set] &^= 1 << uint(w)
+	}
+	sh.mu.Unlock()
+	return true
+}
+
+// SetBudgets installs per-tenant byte budgets (len must equal Tenants();
+// 0 = unlimited; nil clears all budgets). Budgets require a WithCost
+// function — without one the cache has no byte measurements to enforce.
+// Budgets steer the partitioning, they are not a hard byte limiter: at
+// each Rebalance (manual or auto) the budgets are translated into
+// per-tenant way caps from the tenant's observed bytes-per-way, and the
+// allocation never hands a tenant more ways than its budget supports. A
+// tenant over budget because its entries grew is pulled back at the next
+// rebalance rather than evicted mid-interval.
+func (c *Cache[K, V]) SetBudgets(budgets []uint64) error {
+	if budgets == nil {
+		c.quotaMu.Lock()
+		c.budgets = nil
+		c.quotaMu.Unlock()
+		return nil
+	}
+	if c.costFn == nil {
+		return fmt.Errorf("cpacache: SetBudgets requires a WithCost function")
+	}
+	if len(budgets) != c.tenants {
+		return fmt.Errorf("cpacache: got %d budgets for %d tenants", len(budgets), c.tenants)
+	}
+	c.quotaMu.Lock()
+	c.budgets = append(c.budgets[:0], budgets...)
+	c.quotaMu.Unlock()
+	return nil
+}
+
+// Budgets returns a copy of the installed per-tenant byte budgets, or nil
+// when none are set.
+func (c *Cache[K, V]) Budgets() []uint64 {
+	c.quotaMu.Lock()
+	defer c.quotaMu.Unlock()
+	if c.budgets == nil {
+		return nil
+	}
+	return append([]uint64(nil), c.budgets...)
+}

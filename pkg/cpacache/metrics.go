@@ -1,0 +1,100 @@
+package cpacache
+
+// Metrics export: the cache exposes its lifecycle two ways. Pull — Stats
+// (per-tenant counters) and Snapshot (one coherent frame of counters,
+// quotas and budgets) — for scrape-style collectors; push — a MetricsSink
+// of optional callbacks — for decisions that are events rather than
+// gauges, like "this auto-rebalance tick moved ways" or "the sweeper
+// reclaimed 40 expired lines". Sink callbacks run outside every cache
+// lock, on the goroutine that made the decision.
+
+// MetricsSink receives lifecycle events. Any callback may be nil; nil
+// callbacks are simply skipped. Callbacks must be safe for concurrent use
+// (the sweeper and the auto-rebalance ticker are separate goroutines) and
+// should return quickly — they run on the cache's background goroutines,
+// outside all locks.
+type MetricsSink struct {
+	// Rebalance is called once per rebalance decision — manual Rebalance
+	// calls, auto-rebalance ticks that installed new quotas, and ticks
+	// that were held back by hysteresis.
+	Rebalance func(RebalanceEvent)
+	// Sweep is called after a background sweep tick that reclaimed at
+	// least one expired entry.
+	Sweep func(SweepEvent)
+}
+
+// RebalanceEvent describes one rebalance decision.
+type RebalanceEvent struct {
+	// Auto is true for ticker-driven rebalances, false for Rebalance calls.
+	Auto bool
+	// Applied reports whether the proposed quotas were installed. Manual
+	// rebalances always apply; auto ticks may be held back by hysteresis
+	// (too few samples, or too little predicted gain).
+	Applied bool
+	// Old and New are the quotas before the decision and the proposal
+	// (installed only when Applied). Both are copies owned by the sink.
+	Old, New []int
+	// SampledAccesses is the number of profiled accesses in the window
+	// the decision was computed from.
+	SampledAccesses uint64
+	// PredictedMissesOld and PredictedMissesNew evaluate the profiled
+	// miss curves at the old and proposed quotas — the quantities the
+	// hysteresis rule compares.
+	PredictedMissesOld, PredictedMissesNew uint64
+}
+
+// SweepEvent describes one background sweep tick that found expired
+// entries.
+type SweepEvent struct {
+	// SetsScanned is the number of sets examined across all shards this
+	// tick (the sweeper walks the cache incrementally).
+	SetsScanned int
+	// Expired is the number of entries reclaimed this tick.
+	Expired int
+}
+
+// Snapshot is a point-in-time view of the cache's lifecycle state, taken
+// with per-shard consistency (shard locks are taken one at a time, so
+// cross-shard totals can skew by in-flight operations, exactly like
+// Stats).
+type Snapshot struct {
+	// Tenants holds the per-tenant counters, as Stats returns them.
+	Tenants []TenantStats
+	// Quotas is the installed per-tenant way allocation.
+	Quotas []int
+	// Budgets is the per-tenant byte budgets installed with SetBudgets
+	// (nil when none are set).
+	Budgets []uint64
+	// Len and Capacity are the live-entry count and the slot count.
+	Len, Capacity int
+	// Rebalances counts rebalance decisions that installed quotas;
+	// RebalancesSkipped counts auto ticks held back by hysteresis.
+	Rebalances, RebalancesSkipped uint64
+	// SweepExpired counts entries reclaimed by the background sweeper
+	// over the cache's lifetime (lazily reclaimed entries are counted
+	// per tenant in Tenants[t].Expirations alongside these).
+	SweepExpired uint64
+}
+
+// Snapshot returns a point-in-time metrics frame: per-tenant counters,
+// quotas, budgets and lifecycle totals in one call.
+func (c *Cache[K, V]) Snapshot() Snapshot {
+	s := Snapshot{
+		Tenants:      c.Stats(),
+		Len:          c.Len(),
+		Capacity:     c.Capacity(),
+		SweepExpired: c.nSweepExpired.Load(),
+	}
+	// Quotas and the rebalance counters read under quotaMu (which
+	// rebalance holds across install + counter bump), so a frame never
+	// pairs freshly installed quotas with a not-yet-bumped count.
+	c.quotaMu.Lock()
+	s.Quotas = append([]int(nil), c.quotas...)
+	if c.budgets != nil {
+		s.Budgets = append([]uint64(nil), c.budgets...)
+	}
+	s.Rebalances = c.nRebalanced.Load()
+	s.RebalancesSkipped = c.nRebalanceSkip.Load()
+	c.quotaMu.Unlock()
+	return s
+}

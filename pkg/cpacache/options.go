@@ -2,13 +2,15 @@ package cpacache
 
 import (
 	"fmt"
+	"time"
 
 	"repro/pkg/plru"
 )
 
-// settings collects everything the options configure. The OnEvict
-// callback is held as `any` so that plain options stay non-generic; New
-// type-asserts it against the cache's own type parameters.
+// settings collects everything the options configure. The generic
+// callbacks (OnEvict, OnExpire, Cost) are held as `any` so that plain
+// options stay non-generic; New type-asserts them against the cache's own
+// type parameters.
 type settings struct {
 	shards      int
 	sets        int
@@ -18,10 +20,23 @@ type settings struct {
 	sampleEvery int
 	seed        uint64
 	onEvict     any
+	onExpire    any
+	costFn      any
+
+	defaultTTL    time.Duration
+	sweepInterval time.Duration
+	nowFn         func() int64
+
+	autoRebalance time.Duration
+	hysteresis    float64
+	minSamples    uint64
+
+	sink MetricsSink
 }
 
 // Option configures a Cache under construction. Options are shared across
-// all Cache instantiations; only WithOnEvict is generic.
+// all Cache instantiations; only WithOnEvict, WithOnExpire and WithCost
+// are generic.
 type Option interface {
 	apply(*settings) error
 }
@@ -32,13 +47,16 @@ func (f optionFunc) apply(s *settings) error { return f(s) }
 
 func newSettings(opts []Option) (settings, error) {
 	s := settings{
-		shards:      1,
-		sets:        64,
-		ways:        8,
-		policy:      plru.BT,
-		tenants:     1,
-		sampleEvery: 8,
-		seed:        1,
+		shards:        1,
+		sets:          64,
+		ways:          8,
+		policy:        plru.BT,
+		tenants:       1,
+		sampleEvery:   8,
+		seed:          1,
+		sweepInterval: 100 * time.Millisecond,
+		hysteresis:    0.05,
+		minSamples:    128,
 	}
 	for _, o := range opts {
 		if err := o.apply(&s); err != nil {
@@ -62,6 +80,18 @@ func newSettings(opts []Option) (settings, error) {
 	}
 	if s.sampleEvery <= 0 {
 		return settings{}, fmt.Errorf("cpacache: profile sampling rate must be positive, got %d", s.sampleEvery)
+	}
+	if s.defaultTTL < 0 {
+		return settings{}, fmt.Errorf("cpacache: default TTL must be >= 0, got %v", s.defaultTTL)
+	}
+	if s.sweepInterval < 0 {
+		return settings{}, fmt.Errorf("cpacache: sweep interval must be >= 0, got %v", s.sweepInterval)
+	}
+	if s.autoRebalance < 0 {
+		return settings{}, fmt.Errorf("cpacache: auto-rebalance interval must be >= 0, got %v", s.autoRebalance)
+	}
+	if s.hysteresis < 0 || s.hysteresis != s.hysteresis {
+		return settings{}, fmt.Errorf("cpacache: rebalance hysteresis must be a fraction >= 0, got %v", s.hysteresis)
 	}
 	return s, nil
 }
@@ -119,8 +149,98 @@ func WithSeed(seed uint64) Option {
 
 // WithOnEvict installs a callback invoked — outside the shard lock —
 // whenever a live entry is displaced by a capacity eviction (never by
-// Delete). K and V must match the type parameters the Cache is built
-// with; New reports an error otherwise.
+// Delete or TTL expiry; see WithOnExpire for the latter). K and V must
+// match the type parameters the Cache is built with; New reports an error
+// otherwise.
 func WithOnEvict[K comparable, V any](fn func(key K, value V)) Option {
 	return optionFunc(func(s *settings) error { s.onEvict = fn; return nil })
+}
+
+// WithOnExpire installs a callback invoked — outside the shard lock —
+// whenever an entry is reclaimed because its TTL lapsed: lazily on the
+// lookup path, by the background sweeper, or when a Set lands on an
+// already-expired line. K and V must match the cache's type parameters;
+// New reports an error otherwise.
+func WithOnExpire[K comparable, V any](fn func(key K, value V)) Option {
+	return optionFunc(func(s *settings) error { s.onExpire = fn; return nil })
+}
+
+// WithDefaultTTL gives every inserted entry a time-to-live of d (> 0):
+// once d elapses the entry can no longer be read and is reclaimed lazily
+// on access or by the background sweeper (WithTTLSweep). Individual
+// entries can override the default with SetTTL or SetTenantTTL. Without
+// this option entries live until displaced or deleted.
+func WithDefaultTTL(d time.Duration) Option {
+	return optionFunc(func(s *settings) error { s.defaultTTL = d; return nil })
+}
+
+// WithTTLSweep sets how often the background sweeper scans for expired
+// entries (default 100ms; 0 disables sweeping, leaving reclamation to the
+// lazy lookup path). Each tick sweeps an incremental chunk of every
+// shard's sets, so a full pass is spread over several ticks and no tick
+// holds a shard lock for long. The sweeper starts when TTLs are first
+// used and stops at Close.
+func WithTTLSweep(interval time.Duration) Option {
+	return optionFunc(func(s *settings) error { s.sweepInterval = interval; return nil })
+}
+
+// WithNow replaces the cache's TTL clock with fn, which must return
+// nanoseconds on a monotonically non-decreasing scale. fn is called on
+// TTL-relevant operations (including the lookup hot path when the probed
+// entry carries a deadline), so it must be cheap and safe for concurrent
+// use — typically a load of an atomic the caller updates coarsely, which
+// is exactly what the built-in clock does. With WithNow the cache starts
+// no internal clock goroutine, which also makes expiry deterministic in
+// tests.
+func WithNow(fn func() int64) Option {
+	return optionFunc(func(s *settings) error {
+		if fn == nil {
+			return fmt.Errorf("cpacache: WithNow requires a non-nil clock")
+		}
+		s.nowFn = fn
+		return nil
+	})
+}
+
+// WithCost installs a cost function (typically bytes: key footprint +
+// value footprint) evaluated once per insert/update. The cache keeps a
+// per-tenant resident-cost gauge (TenantStats.Bytes) and uses it to
+// translate SetBudgets byte budgets into way caps at Rebalance time. K
+// and V must match the cache's type parameters; New reports an error
+// otherwise. Mutations to a value after Set are not re-measured.
+func WithCost[K comparable, V any](fn func(key K, value V) uint64) Option {
+	return optionFunc(func(s *settings) error { s.costFn = fn; return nil })
+}
+
+// WithAutoRebalance runs Rebalance automatically every interval (> 0) on
+// a background goroutine, with hysteresis (WithRebalanceHysteresis) so
+// noisy profile windows do not thrash the partition masks: a proposed
+// allocation is installed only when the profiled window is large enough
+// and predicts a miss reduction worth acting on, or when byte budgets
+// force a change. Stop the goroutine with Close.
+func WithAutoRebalance(interval time.Duration) Option {
+	return optionFunc(func(s *settings) error { s.autoRebalance = interval; return nil })
+}
+
+// WithRebalanceHysteresis tunes when an auto-rebalance tick (see
+// WithAutoRebalance) installs its proposed quotas: the profiled window
+// must contain at least minSamples accesses and the proposal must predict
+// at least a minGain fraction (default 0.05, i.e. 5%) fewer misses than
+// the current quotas. Larger values mean fewer, more confident mask
+// changes. Manual Rebalance calls ignore hysteresis.
+func WithRebalanceHysteresis(minGain float64, minSamples uint64) Option {
+	return optionFunc(func(s *settings) error {
+		s.hysteresis = minGain
+		s.minSamples = minSamples
+		return nil
+	})
+}
+
+// WithMetricsSink streams lifecycle events (rebalance decisions, sweeper
+// reclamation) to the given sink; nil callbacks inside the sink are
+// skipped. Sink callbacks run outside all cache locks but on cache
+// goroutines, so they should return quickly. Point-in-time counters are
+// available from Stats and Snapshot regardless of any sink.
+func WithMetricsSink(sink MetricsSink) Option {
+	return optionFunc(func(s *settings) error { s.sink = sink; return nil })
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/pkg/plru"
 )
@@ -176,6 +177,120 @@ func TestConcurrentBatchStress(t *testing.T) {
 	}
 	if got, cap := c.Len(), c.Capacity(); got > cap {
 		t.Fatalf("Len %d exceeds capacity %d", got, cap)
+	}
+}
+
+// TestConcurrentLifecycleStress hammers a cache whose whole lifecycle is
+// on: short TTLs on the real coarse clock, a fast background sweeper, a
+// fast auto-rebalance ticker, cost accounting with byte budgets, and
+// OnEvict/OnExpire callbacks — while workers mix per-key and batch
+// traffic, deletes and TTL re-arms. It exists to run under -race (expiry
+// racing Get/SetBatch, sweeper racing Rebalance) and to check the
+// callbacks always carry coherent pairs.
+func TestConcurrentLifecycleStress(t *testing.T) {
+	const (
+		workers  = 6
+		rounds   = 300
+		batch    = 64
+		keySpace = 4_096
+		tenants  = 4
+	)
+	var badEvict, badExpire atomic.Uint64
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(64), WithWays(8),
+		WithPolicy(plru.BT), WithPartitions(tenants),
+		WithDefaultTTL(2*time.Millisecond),
+		WithTTLSweep(time.Millisecond),
+		WithAutoRebalance(2*time.Millisecond),
+		WithRebalanceHysteresis(0.01, 32),
+		WithCost(func(k, v uint64) uint64 { return k%128 + 1 }),
+		WithOnEvict(func(k, v uint64) {
+			if k != v {
+				badEvict.Add(1)
+			}
+		}),
+		WithOnExpire(func(k, v uint64) {
+			if k != v {
+				badExpire.Add(1)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBudgets([]uint64{1 << 16, 1 << 14, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	var wrong atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := g % tenants
+			keys := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			oks := make([]bool, batch)
+			rng := uint64(g)*0x9E3779B97F4A7C15 + 11
+			for r := 0; r < rounds; r++ {
+				for i := range keys {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					keys[i] = rng % keySpace
+					vals[i] = keys[i]
+				}
+				switch r % 4 {
+				case 0:
+					c.SetBatch(tenant, keys, vals)
+				case 1:
+					c.GetBatch(tenant, keys, vals, oks)
+					for i := range keys {
+						if oks[i] && vals[i] != keys[i] {
+							wrong.Add(1)
+						}
+					}
+				case 2:
+					for _, k := range keys[:16] {
+						if v, ok := c.GetTenant(tenant, k); ok && v != k {
+							wrong.Add(1)
+						}
+					}
+					c.SetTenantTTL(tenant, keys[0], keys[0], time.Duration(rng%uint64(4*time.Millisecond)))
+					c.SetTTL(keys[1], time.Millisecond)
+				default:
+					for _, k := range keys[:8] {
+						c.Delete(k)
+					}
+					c.SetTenant(tenant, keys[0], keys[0])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d lookups returned a value that did not match its key", n)
+	}
+	if n := badEvict.Load(); n != 0 {
+		t.Fatalf("%d corrupted OnEvict pairs", n)
+	}
+	if n := badExpire.Load(); n != 0 {
+		t.Fatalf("%d corrupted OnExpire pairs", n)
+	}
+	if got, cap := c.Len(), c.Capacity(); got > cap {
+		t.Fatalf("Len %d exceeds capacity %d", got, cap)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the snapshot is quiescent and internally consistent.
+	snap := c.Snapshot()
+	var expir uint64
+	for _, ts := range snap.Tenants {
+		expir += ts.Expirations
+	}
+	if expir == 0 {
+		t.Fatal("stress run never expired anything; TTL coverage is vacuous")
 	}
 }
 

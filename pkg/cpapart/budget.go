@@ -1,0 +1,271 @@
+package cpapart
+
+// Byte-budget support: a software cache partitions *ways*, but operators
+// reason in *bytes*. The translation layer here turns per-thread byte
+// budgets into per-thread way caps (WayCaps) and lets the MinMisses
+// dynamic programs respect those caps (AllocateCappedInto,
+// BuddyMinMissesCappedInto), so a partitioning decision driven by miss
+// curves can be constrained by memory budgets without giving up the
+// paper's way-granular enforcement. This is the cost/weight-aware
+// direction of AWRP-style replacement work, applied at the allocator
+// rather than per line: the replacement policy stays untouched (and
+// cheap), and the budget pressure is expressed where the paper's
+// machinery already makes global decisions — the way allocation.
+
+// WayCaps converts per-thread byte budgets into per-thread way caps for a
+// `ways`-way cache, writing into dst (reused when large enough).
+//
+// budgets[t] is thread t's byte budget (0 = unlimited); bytesPerWay[t] is
+// the caller's estimate of how many bytes one way holds for that thread
+// (typically resident bytes divided by currently assigned ways; 0 when
+// there is no estimate, which also means unlimited). The raw cap is
+// budgets[t]/bytesPerWay[t], clamped to [1, ways].
+//
+// Because a way-partitioned cache must hand out every way (an unowned way
+// would be unevictable), WayCaps guarantees feasibility: while the caps
+// sum below `ways`, the cap of the thread with the most unlimited budget
+// — unlimited first, then largest budget, ties to the lowest thread id —
+// is raised. The result therefore always satisfies cap[t] >= 1 and
+// sum(cap) >= ways, which is exactly what the capped allocators require.
+func WayCaps(dst []int, budgets []uint64, bytesPerWay []uint64, ways int) []int {
+	n := len(budgets)
+	if n == 0 {
+		panic("cpapart: no threads")
+	}
+	if len(bytesPerWay) != n {
+		panic("cpapart: budgets and bytesPerWay lengths differ")
+	}
+	if ways < n {
+		panic("cpapart: fewer ways than threads")
+	}
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	caps := dst[:n]
+	for t := range caps {
+		if budgets[t] == 0 || bytesPerWay[t] == 0 {
+			caps[t] = ways
+			continue
+		}
+		w := int(budgets[t] / bytesPerWay[t])
+		if w < 1 {
+			w = 1
+		}
+		if w > ways {
+			w = ways
+		}
+		caps[t] = w
+	}
+	// Raise caps until an exact-cover allocation exists. Surplus ways go
+	// to the thread that can best absorb them: unlimited budgets first,
+	// then the largest budget, ties broken toward lower ids.
+	for {
+		total := 0
+		for _, w := range caps {
+			total += w
+		}
+		if total >= ways {
+			return caps
+		}
+		best := -1
+		for t := range caps {
+			if caps[t] >= ways {
+				continue
+			}
+			if best < 0 {
+				best = t
+				continue
+			}
+			bu, cu := budgets[best] == 0 || bytesPerWay[best] == 0, budgets[t] == 0 || bytesPerWay[t] == 0
+			switch {
+			case cu && !bu:
+				best = t
+			case cu == bu && budgets[t] > budgets[best]:
+				best = t
+			}
+		}
+		caps[best]++
+	}
+}
+
+// AllocateCappedInto is AllocateInto with per-thread way caps: thread t
+// receives between 1 and caps[t] ways. A nil caps behaves exactly like
+// AllocateInto. The caps must admit an exact cover of `ways` (each >= 1,
+// sum >= ways — what WayCaps guarantees); AllocateCappedInto panics
+// otherwise, because an infeasible cap set is always a caller bug.
+func (MinMisses) AllocateCappedInto(dst Allocation, s *Scratch, curves [][]uint64, ways int, caps []int) Allocation {
+	checkInputs(curves, ways)
+	n := len(curves)
+	checkCaps(caps, n, ways)
+	const inf = ^uint64(0)
+
+	// f[t][w] = min total misses over threads [0,t) using exactly w ways,
+	// with thread i limited to caps[i] ways.
+	f, choice := s.tables(n+1, ways+1)
+	for t := range f {
+		for w := range f[t] {
+			f[t][w] = inf
+			choice[t][w] = 0
+		}
+	}
+	f[0][0] = 0
+	for t := 1; t <= n; t++ {
+		hi := ways
+		if caps != nil && caps[t-1] < hi {
+			hi = caps[t-1]
+		}
+		for w := t; w <= ways; w++ {
+			max := w - (t - 1)
+			if max > hi {
+				max = hi
+			}
+			for a := 1; a <= max; a++ {
+				prev := f[t-1][w-a]
+				if prev == inf {
+					continue
+				}
+				cand := prev + curves[t-1][a]
+				if cand < f[t][w] {
+					f[t][w] = cand
+					choice[t][w] = a
+				}
+			}
+		}
+	}
+	if f[n][ways] == inf {
+		panic("cpapart: way caps admit no exact-cover allocation")
+	}
+	alloc := growAlloc(dst, n)
+	w := ways
+	for t := n; t >= 1; t-- {
+		a := choice[t][w]
+		alloc[t-1] = a
+		w -= a
+	}
+	return alloc
+}
+
+// BuddyMinMissesCappedInto is BuddyMinMissesInto with per-thread way caps:
+// thread t's power-of-two share may not exceed caps[t]. A nil caps behaves
+// exactly like BuddyMinMissesInto. Because shares are powers of two, a cap
+// of e.g. 5 limits the thread to 4 ways. The caps must admit a feasible
+// buddy cover; BuddyMinMissesCappedInto panics otherwise (WayCaps output
+// can be infeasible here when the power-of-two floors of the caps sum
+// below `ways` — callers relax caps with RelaxBuddyCaps first).
+func BuddyMinMissesCappedInto(dst Allocation, s *Scratch, curves [][]uint64, ways int, caps []int) Allocation {
+	checkInputs(curves, ways)
+	if ways&(ways-1) != 0 {
+		panic("cpapart: buddy allocation requires power-of-two ways")
+	}
+	n := len(curves)
+	checkCaps(caps, n, ways)
+	const inf = ^uint64(0)
+	f, choice := s.tables(n+1, ways+1)
+	for t := range f {
+		for w := range f[t] {
+			f[t][w] = inf
+			choice[t][w] = 0
+		}
+	}
+	f[0][0] = 0
+	for t := 1; t <= n; t++ {
+		hi := ways
+		if caps != nil && caps[t-1] < hi {
+			hi = caps[t-1]
+		}
+		for w := 0; w <= ways; w++ {
+			for sz := 1; sz <= w && sz <= hi; sz *= 2 {
+				prev := f[t-1][w-sz]
+				if prev == inf {
+					continue
+				}
+				cand := prev + curves[t-1][sz]
+				if cand < f[t][w] {
+					f[t][w] = cand
+					choice[t][w] = sz
+				}
+			}
+		}
+	}
+	if f[n][ways] == inf {
+		if caps == nil {
+			panic("cpapart: no buddy allocation exists (too many threads for ways?)")
+		}
+		panic("cpapart: way caps admit no buddy allocation")
+	}
+	alloc := growAlloc(dst, n)
+	w := ways
+	for t := n; t >= 1; t-- {
+		sz := choice[t][w]
+		alloc[t-1] = sz
+		w -= sz
+	}
+	return alloc
+}
+
+// RelaxBuddyCaps widens caps (in place) until a buddy cover of `ways`
+// exists: while no multiset of power-of-two shares sz[t] in [1, caps[t]]
+// sums exactly to `ways` (sum >= ways is not enough — caps {2, 8} cannot
+// tile 8), the cap of the thread with the most headroom to its budget —
+// largest budget first, ties to the lowest id — is doubled. budgets may
+// be nil (then ties alone order the relaxation). Returns caps for
+// convenience.
+func RelaxBuddyCaps(caps []int, budgets []uint64, ways int) []int {
+	pow2Floor := func(v int) int {
+		p := 1
+		for p*2 <= v {
+			p *= 2
+		}
+		return p
+	}
+	for !buddyCapsFeasible(caps, ways) {
+		best := -1
+		for t := range caps {
+			if pow2Floor(caps[t]) >= ways {
+				continue
+			}
+			if best < 0 || (budgets != nil && budgets[t] > budgets[best]) {
+				best = t
+			}
+		}
+		if best < 0 {
+			return caps // every thread already at ways: nothing to widen
+		}
+		caps[best] = pow2Floor(caps[best]) * 2
+	}
+	return caps
+}
+
+// buddyCapsFeasible reports whether power-of-two shares sz[t] in
+// [1, caps[t]] can sum exactly to ways. Subset-sum over a 65-bit
+// reachability set (sums 0..64), no allocation.
+func buddyCapsFeasible(caps []int, ways int) bool {
+	lo, hi := uint64(1), uint64(0) // bit s set iff sum s reachable
+	for _, c := range caps {
+		var nlo, nhi uint64
+		for sz := 1; sz <= c && sz <= ways; sz *= 2 {
+			nlo |= lo << uint(sz)
+			nhi |= hi<<uint(sz) | lo>>uint(64-sz)
+		}
+		lo, hi = nlo, nhi
+	}
+	if ways < 64 {
+		return lo&(1<<uint(ways)) != 0
+	}
+	return hi&1 != 0
+}
+
+// checkCaps validates a cap vector against the allocator preconditions.
+func checkCaps(caps []int, n, ways int) {
+	if caps == nil {
+		return
+	}
+	if len(caps) != n {
+		panic("cpapart: caps length does not match thread count")
+	}
+	for _, w := range caps {
+		if w < 1 || w > ways {
+			panic("cpapart: each way cap must be in [1, ways]")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package cpapart_test
+
+import (
+	"fmt"
+
+	"repro/pkg/cpapart"
+)
+
+// MinMisses picks the way split that minimizes the predicted total miss
+// count. curves[t][w] is thread t's predicted misses when owning w ways:
+// thread 0 stops missing once it has 3 ways, thread 1 never benefits (a
+// streaming workload), so the allocator gives thread 0 everything beyond
+// the churner's mandatory single way.
+func ExampleMinMisses() {
+	curves := [][]uint64{
+		{900, 700, 400, 100, 100, 100, 100, 100, 100}, // wants 3 ways
+		{500, 500, 500, 500, 500, 500, 500, 500, 500}, // cache-insensitive
+	}
+	alloc := cpapart.MinMisses{}.Allocate(curves, 8)
+	fmt.Println("allocation:", alloc)
+	fmt.Println("predicted misses:", cpapart.TotalMisses(curves, alloc))
+	// Output:
+	// allocation: [7 1]
+	// predicted misses: 600
+}
+
+// Under BT pseudo-LRU, enforcement uses per-level force vectors, so every
+// share must be a power of two on an aligned buddy block. BuddyMinMisses
+// does the optimal rounding; BuddyLayout places the blocks; ForceVectors
+// renders a block as the paper's up/down bits.
+func ExampleBuddyMinMisses() {
+	curves := [][]uint64{
+		{900, 700, 400, 100, 100, 100, 100, 100, 100},
+		{500, 500, 500, 500, 500, 500, 500, 500, 500},
+	}
+	alloc := cpapart.BuddyMinMisses(curves, 8)
+	blocks, err := cpapart.BuddyLayout(alloc, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("power-of-two allocation:", alloc)
+	for t, b := range blocks {
+		fmt.Printf("thread %d owns ways %v\n", t, b.Mask())
+	}
+	// Output:
+	// power-of-two allocation: [4 4]
+	// thread 0 owns ways {0,1,2,3}
+	// thread 1 owns ways {4,5,6,7}
+}
+
+// WayCaps translates byte budgets into way caps: thread 0's 3 KiB budget
+// at ~1 KiB resident per way supports 3 ways; thread 1 is unlimited. The
+// capped allocator then respects the cap no matter how hungry thread 0's
+// miss curve is.
+func ExampleWayCaps() {
+	budgets := []uint64{3 << 10, 0}       // 3 KiB, unlimited
+	bytesPerWay := []uint64{1 << 10, 512} // observed resident density
+	caps := cpapart.WayCaps(nil, budgets, bytesPerWay, 8)
+	fmt.Println("way caps:", caps)
+
+	curves := [][]uint64{
+		{900, 800, 700, 600, 500, 400, 300, 200, 100}, // wants everything
+		{400, 350, 300, 300, 300, 300, 300, 300, 300},
+	}
+	var s cpapart.Scratch
+	alloc := cpapart.MinMisses{}.AllocateCappedInto(nil, &s, curves, 8, caps)
+	fmt.Println("capped allocation:", alloc)
+	// Output:
+	// way caps: [3 8]
+	// capped allocation: [3 5]
+}

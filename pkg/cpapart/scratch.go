@@ -53,90 +53,17 @@ func growAlloc(dst Allocation, n int) Allocation {
 // AllocateInto is Allocate with caller-owned result and scratch storage:
 // the returned Allocation reuses dst's backing array when it is large
 // enough, and the DP tables live in s. Steady-state calls (same geometry)
-// perform no heap allocation.
-func (MinMisses) AllocateInto(dst Allocation, s *Scratch, curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	n := len(curves)
-	const inf = ^uint64(0)
-
-	// f[t][w] = min total misses over threads [0,t) using exactly w ways.
-	f, choice := s.tables(n+1, ways+1)
-	for t := range f {
-		for w := range f[t] {
-			f[t][w] = inf
-			choice[t][w] = 0
-		}
-	}
-	f[0][0] = 0
-	for t := 1; t <= n; t++ {
-		for w := t; w <= ways; w++ { // at least 1 way per placed thread
-			for a := 1; a <= w-(t-1); a++ {
-				prev := f[t-1][w-a]
-				if prev == inf {
-					continue
-				}
-				cand := prev + curves[t-1][a]
-				if cand < f[t][w] {
-					f[t][w] = cand
-					choice[t][w] = a
-				}
-			}
-		}
-	}
-
-	alloc := growAlloc(dst, n)
-	w := ways
-	for t := n; t >= 1; t-- {
-		a := choice[t][w]
-		alloc[t-1] = a
-		w -= a
-	}
-	return alloc
+// perform no heap allocation. It is the uncapped case of
+// AllocateCappedInto (budget.go), which holds the one DP implementation.
+func (m MinMisses) AllocateInto(dst Allocation, s *Scratch, curves [][]uint64, ways int) Allocation {
+	return m.AllocateCappedInto(dst, s, curves, ways, nil)
 }
 
 // BuddyMinMissesInto is BuddyMinMisses with caller-owned result and
-// scratch storage, mirroring AllocateInto.
+// scratch storage, mirroring AllocateInto. It is the uncapped case of
+// BuddyMinMissesCappedInto (budget.go).
 func BuddyMinMissesInto(dst Allocation, s *Scratch, curves [][]uint64, ways int) Allocation {
-	checkInputs(curves, ways)
-	if ways&(ways-1) != 0 {
-		panic("cpapart: buddy allocation requires power-of-two ways")
-	}
-	n := len(curves)
-	const inf = ^uint64(0)
-	f, choice := s.tables(n+1, ways+1)
-	for t := range f {
-		for w := range f[t] {
-			f[t][w] = inf
-			choice[t][w] = 0
-		}
-	}
-	f[0][0] = 0
-	for t := 1; t <= n; t++ {
-		for w := 0; w <= ways; w++ {
-			for sz := 1; sz <= w; sz *= 2 {
-				prev := f[t-1][w-sz]
-				if prev == inf {
-					continue
-				}
-				cand := prev + curves[t-1][sz]
-				if cand < f[t][w] {
-					f[t][w] = cand
-					choice[t][w] = sz
-				}
-			}
-		}
-	}
-	if f[n][ways] == inf {
-		panic("cpapart: no buddy allocation exists (too many threads for ways?)")
-	}
-	alloc := growAlloc(dst, n)
-	w := ways
-	for t := n; t >= 1; t-- {
-		sz := choice[t][w]
-		alloc[t-1] = sz
-		w -= sz
-	}
-	return alloc
+	return BuddyMinMissesCappedInto(dst, s, curves, ways, nil)
 }
 
 // BuddyLayoutInto is BuddyLayout with caller-owned result and scratch

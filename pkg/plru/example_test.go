@@ -1,0 +1,54 @@
+package plru_test
+
+import (
+	"fmt"
+
+	"repro/pkg/plru"
+)
+
+// A policy tracks recency for every set of a cache; Victim answers "which
+// way do I evict?" restricted to an allowed mask — the paper's global
+// replacement masks, and equally a tenant's way quota.
+func Example() {
+	p := plru.New(plru.LRU, 1, 4, 1, 0) // 1 set, 4 ways, 1 core
+
+	// Fill ways 0..3 in order: way 0 becomes the least recently used.
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w, 0)
+	}
+	fmt.Println("unrestricted victim:", p.Victim(0, 0, plru.Full(4)))
+
+	// Restrict replacement to ways {2,3}: the LRU way inside the mask.
+	mask := plru.WayMask(0).With(2).With(3)
+	fmt.Println("masked victim:     ", p.Victim(0, 0, mask))
+
+	// A hit on way 2 makes way 3 the masked victim.
+	p.Touch(0, 2, 0)
+	fmt.Println("after touching 2:  ", p.Victim(0, 0, mask))
+	// Output:
+	// unrestricted victim: 0
+	// masked victim:      2
+	// after touching 2:   3
+}
+
+// Invalidate clears a way's recency when its line leaves the cache
+// outside the replacement path (an explicit delete, a TTL expiry), making
+// the freed way the preferred next victim.
+func ExamplePolicy_invalidate() {
+	p := plru.New(plru.BT, 1, 8, 1, 0)
+	for w := 0; w < 8; w++ {
+		p.Touch(0, w, 0)
+	}
+	p.Invalidate(0, 5)
+	fmt.Println("victim after invalidating way 5:", p.Victim(0, 0, plru.Full(8)))
+	// Output:
+	// victim after invalidating way 5: 5
+}
+
+// WayMask is a bitmask over cache ways with allocation-free accessors.
+func ExampleWayMask() {
+	m := plru.Full(8).Without(0).Without(7)
+	fmt.Println(m, "holds", m.Count(), "ways; third is", m.Nth(2))
+	// Output:
+	// {1,2,3,4,5,6} holds 6 ways; third is 3
+}
