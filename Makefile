@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-cpacache bench-compare alloc-guard fmt fmt-check vet staticcheck vulncheck docs-check ci
+.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate alloc-guard fmt fmt-check vet staticcheck vulncheck docs-check ci
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ bench-compare:
 		-benchtime=1s -count=5 ./pkg/cpacache/ > /tmp/bench_fresh.txt
 	benchstat /tmp/bench_baseline.txt /tmp/bench_fresh.txt
 
+# Bench-regression gate: run the two headline hot-path benchmarks and
+# fail if the best-of-3 ns/op regresses more than 15% against the
+# checked-in BENCH_cpacache.json (or allocs/op grow at all). CI runs
+# this; it is a smoke gate for gross regressions, not a statistically
+# careful comparison — use bench-compare for that.
+bench-gate:
+	$(GO) test -run=NONE -bench='^BenchmarkGetHit$$|^BenchmarkParallelGetSet$$' \
+		-benchtime=1s -count=3 ./pkg/cpacache/ | tee /tmp/bench_gate.txt
+	$(GO) run ./cmd/benchjson -gate -tolerance 0.15 BENCH_cpacache.json /tmp/bench_gate.txt
+
 # The hot-path allocation guards (testing.AllocsPerRun) run without -race:
 # instrumentation skews the accounting. Alloc regressions fail here fast
 # even on hosts too noisy for ns/op comparisons.
@@ -73,4 +83,4 @@ vet:
 docs-check: vet
 	$(GO) run ./cmd/doccheck .
 
-ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache docs-check
+ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache bench-gate docs-check

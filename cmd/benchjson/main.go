@@ -9,13 +9,30 @@
 // The JSON carries a single observation per benchmark, so benchstat
 // reports the baseline without a variance estimate; the comparison column
 // against the multi-count fresh run is still exact.
+//
+// With -gate it becomes the CI bench-regression gate instead:
+//
+//	go test -run=NONE -bench='^BenchmarkGetHit$|^BenchmarkParallelGetSet$' \
+//	        -count=3 ./pkg/cpacache/ > fresh.txt
+//	go run ./cmd/benchjson -gate -tolerance 0.15 BENCH_cpacache.json fresh.txt
+//
+// which fails (exit 1) when any gated benchmark's best fresh ns/op is
+// more than the tolerance above the recorded baseline, or its allocs/op
+// grew at all. The best-of-count is compared, not the mean: scheduler
+// noise only ever inflates a run, so the minimum is the honest estimate
+// of the code's cost and gating on it keeps a noisy 1-CPU runner from
+// flagging phantom regressions.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type benchFile struct {
@@ -31,11 +48,22 @@ type benchFile struct {
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	gate := flag.Bool("gate", false, "compare a fresh `go test -bench` output file against the JSON baseline and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression in -gate mode")
+	benches := flag.String("benches", "BenchmarkGetHit,BenchmarkParallelGetSet", "comma-separated benchmarks the -gate mode checks (others are informational)")
+	flag.Parse()
+	if *gate {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -gate [-tolerance 0.15] BENCH_file.json fresh_bench_output.txt")
+			os.Exit(2)
+		}
+		os.Exit(runGate(flag.Arg(0), flag.Arg(1), *tolerance, strings.Split(*benches, ",")))
+	}
+	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchjson BENCH_file.json [more.json...]")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -65,4 +93,112 @@ func main() {
 			fmt.Printf("%s-%d\t1000\t%g ns/op\t%g allocs/op\n", name, procs, r.NsPerOp, r.AllocsPerOp)
 		}
 	}
+}
+
+// fresh is one benchmark's best observation from a `go test -bench` run.
+type fresh struct {
+	ns     float64
+	allocs float64
+	seen   bool
+}
+
+// runGate implements -gate: returns the process exit code.
+func runGate(baselinePath, freshPath string, tolerance float64, gated []string) int {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	best, err := parseBench(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	failed := false
+	for _, name := range gated {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := base.Results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s not in baseline %s\n", name, baselinePath)
+			failed = true
+			continue
+		}
+		f, ok := best[name]
+		if !ok || !f.seen {
+			fmt.Fprintf(os.Stderr, "benchjson: %s not in fresh output %s\n", name, freshPath)
+			failed = true
+			continue
+		}
+		limit := b.NsPerOp * (1 + tolerance)
+		status := "ok"
+		if f.ns > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s baseline %8.2f ns/op  best-of-run %8.2f ns/op  limit %8.2f  %s\n",
+			name, b.NsPerOp, f.ns, limit, status)
+		if f.allocs > b.AllocsPerOp {
+			fmt.Printf("%-28s allocs/op grew: baseline %g, fresh %g  REGRESSION\n", name, b.AllocsPerOp, f.allocs)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// parseBench extracts, per benchmark name (GOMAXPROCS suffix stripped),
+// the minimum ns/op and its allocs/op across every line of a `go test
+// -bench` output file.
+func parseBench(path string) (map[string]fresh, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	out := map[string]fresh{}
+	sc := bufio.NewScanner(fh)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var ns, allocs float64
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			switch fields[i+1] {
+			case "ns/op":
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					ns, ok = v, true
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					allocs = v
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		cur, seen := out[name]
+		if !seen || ns < cur.ns {
+			out[name] = fresh{ns: ns, allocs: allocs, seen: true}
+		}
+	}
+	return out, sc.Err()
 }

@@ -170,6 +170,72 @@ func TestSetChurnTTLCostZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestTouchRingDrainZeroAlloc pins the deferred-recency round trip at
+// zero allocations: a burst of lock-free hits fills the touch ring, and
+// the Set that follows drains and applies every record through the
+// batched policy path — none of push, drain window walk, TouchRec
+// conversion or TouchBatch may allocate, even when the burst overflows
+// the ring (sampled-drop regime).
+func TestTouchRingDrainZeroAlloc(t *testing.T) {
+	c, err := New[uint64, uint64](
+		WithShards(1), WithSets(64), WithWays(8),
+		WithPolicy(plru.BT), WithTouchBuffer(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 256
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	i := uint64(0)
+	if n := testing.AllocsPerRun(500, func() {
+		for j := 0; j < 100; j++ { // > ring capacity: overflow path included
+			c.Get(i % keys)
+			i++
+		}
+		c.Set(i%keys, i) // drains the ring before any policy read
+	}); n != 0 {
+		t.Fatalf("touch-ring fill+drain allocates %v/op, want 0", n)
+	}
+}
+
+// TestWheelSweepZeroAlloc pins the timing-wheel paths at zero
+// allocations: inserts with TTLs link slots into buckets (intrusive
+// lists, preallocated at arm time), clock advances cascade entries down
+// the levels, and sweep ticks reclaim due entries into reused buffers.
+func TestWheelSweepZeroAlloc(t *testing.T) {
+	clk := newFakeClock()
+	c, err := New[uint64, uint64](
+		WithShards(2), WithSets(32), WithWays(8),
+		WithPolicy(plru.BT),
+		WithNow(clk.Load), WithTTLSweep(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Warm the sweep buffers through one full insert+expire cycle.
+	var exK []uint64
+	var exV []uint64
+	for k := uint64(0); k < 512; k++ {
+		c.SetTenantTTL(0, k, k, 10*time.Millisecond)
+	}
+	clk.advance(time.Second)
+	exK, exV = c.sweepOnce(exK, exV)
+	k := uint64(0)
+	if n := testing.AllocsPerRun(500, func() {
+		for j := 0; j < 8; j++ {
+			c.SetTenantTTL(0, k%512, k, time.Duration(1+k%20)*time.Millisecond)
+			k++
+		}
+		clk.advance(5 * time.Millisecond)
+		exK, exV = c.sweepOnce(exK, exV)
+	}); n != 0 {
+		t.Fatalf("wheel link/advance/sweep allocates %v/op, want 0", n)
+	}
+}
+
 // TestRebalanceSteadyStateAllocs asserts steady-state Rebalance stays at
 // a small constant: the returned quota copy is its only allocation, the
 // DP tables / curves / masks all live in control-plane scratch on the

@@ -103,9 +103,13 @@ func (c *Cache[K, V]) groupByShard(s *batchScratch[K, V], keys []K) {
 
 // GetBatch looks up every key on behalf of tenant, writing results into
 // vals[i] and oks[i] (both must be at least len(keys) long; vals[i] is
-// zeroed on a miss). It returns the number of hits. Stats, recency updates
-// and profiling are identical to per-key GetTenant calls; each shard's
-// lock is taken once for its whole group of keys.
+// zeroed on a miss). It returns the number of hits. Stats, recency
+// updates and profiling are identical to per-key GetTenant calls. When
+// the lock-free read path is active each key takes the same optimistic
+// probe GetTenant uses (there is no lock left to amortize); otherwise —
+// pointerful key/value types, race builds, WithImmediateRecency — the
+// keys are grouped by shard and each shard's lock is taken once for its
+// whole group.
 func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 	c.checkTenant(tenant)
 	if len(vals) < len(keys) || len(oks) < len(keys) {
@@ -113,6 +117,31 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 	}
 	if len(keys) == 0 {
 		return 0
+	}
+	if c.lockFree {
+		// Lock-free per-key probes; the locked fallback handles profiled
+		// sets, expired lines, contended retries and pointerful types.
+		hits := 0
+		for i, k := range keys {
+			h := maphash.Comparable(c.seed, k)
+			sh := &c.shards[h&c.shardMask]
+			set := c.setOf(h)
+			tag := tagOf(h)
+			var v V
+			var ok, done bool
+			if !sh.prof.isSampled(set) {
+				v, ok, done = c.getNoLock(sh, set, tenant, tag, k)
+			}
+			if !done {
+				v, ok = c.getLocked(sh, set, tenant, tag, k)
+			}
+			vals[i] = v
+			oks[i] = ok
+			if ok {
+				hits++
+			}
+		}
+		return hits
 	}
 	s := c.getScratch(len(keys))
 	c.groupByShard(s, keys)
@@ -125,16 +154,17 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 		}
 		sh := &c.shards[si]
 		sh.mu.Lock()
+		c.drainTouches(sh)
 		for _, oi := range s.order[lo:hi] {
 			i := int(oi)
 			set := c.setOf(s.hash[i])
 			tag := tagOf(s.hash[i])
 			base := set * c.ways
-			tbase := set * c.tagWords
+			tbase := c.tagBase(set)
 			if sh.prof.isSampled(set) {
 				sh.prof.record(set, tenant, keys[i])
 			}
-			// Probe inlined (as in GetTenant) to keep the per-key loop
+			// Probe inlined (as in getLocked) to keep the per-key loop
 			// free of call overhead.
 			way := -1
 			for j := 0; j < c.tagWords && way < 0; j++ {
@@ -148,7 +178,10 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 			}
 			if way >= 0 && sh.ttl[set]&(1<<uint(way)) != 0 && sh.deadline[base+way] <= c.now() {
 				// Expired lines never surface through GetBatch: reclaim
-				// and report a miss, exactly as GetTenant does.
+				// and report a miss, exactly as GetTenant does. The
+				// Invalidate inside consults recency, so pending
+				// deferred touches apply first.
+				c.drainTouches(sh)
 				exK, exV := c.expireLocked(sh, set, way)
 				if c.onExpire != nil {
 					s.exK = append(s.exK, exK)
@@ -157,13 +190,13 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 				way = -1
 			}
 			if way >= 0 {
-				sh.stats[tenant].Hits++
-				sh.pol.Touch(set, way, tenant)
+				sh.hm[tenant].hits++
+				c.touchOrPush(sh, set, way, tenant)
 				vals[i] = sh.vals[base+way]
 				oks[i] = true
 				hits++
 			} else {
-				sh.stats[tenant].Misses++
+				sh.hm[tenant].misses++
 				vals[i] = zero
 				oks[i] = false
 			}
@@ -191,7 +224,7 @@ func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
 	}
 	s := c.getScratch(len(keys))
 	c.groupByShard(s, keys)
-	dl := c.defaultDeadline()
+	dl := c.defaultDeadline(tenant)
 	for si := range c.shards {
 		lo, hi := s.start[si], s.start[si+1]
 		if lo == hi {

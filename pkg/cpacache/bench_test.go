@@ -80,6 +80,33 @@ func BenchmarkParallelGetSet(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelGetHit is the pure read-scaling number: every
+// goroutine does warm lookups only, so on a multi-core host the
+// optimistic (seqlock) read path must scale with readers — there is no
+// shard lock left to serialize on. On a 1-CPU host it degenerates to
+// BenchmarkGetHit plus RunParallel overhead.
+func BenchmarkParallelGetHit(b *testing.B) {
+	c := newBenchCache(b, plru.BT, 1)
+	const keys = 1024
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := ctr.Add(1)*0x9E3779B97F4A7C15 + 1
+		for pb.Next() {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if v, ok := c.Get(rng % keys); ok && v != rng%keys {
+				b.Error("corrupted value")
+			}
+		}
+	})
+}
+
 // BenchmarkGetHitTTL is BenchmarkGetHit with every entry carrying a
 // deadline (WithDefaultTTL): the acceptance bar for the TTL data plane is
 // that this stays 0 allocs/op and within 10% of the TTL-less GetHit

@@ -24,20 +24,30 @@
 // MinMisses, or the binary-buddy variant under BT) from repro/pkg/cpapart
 // over stack-distance profiles sampled UMON-style on a subset of sets.
 //
-// All methods are safe for concurrent use. The per-operation hot path
-// takes exactly one shard mutex and performs no heap allocation; set
-// probes resolve through a packed per-set tag word (one hash byte per
-// way, matched with branch-free SWAR scans — see tags.go) the way a
-// hardware cache resolves a parallel tag match, falling back to full key
-// comparison only on tag hits. GetBatch and SetBatch amortize the shard
-// lock over many keys, and Rebalance reuses control-plane scratch so
-// steady-state repartitioning stays allocation-free.
+// All methods are safe for concurrent use and the per-operation hot
+// paths perform no heap allocation. Set probes resolve through a packed
+// per-set tag word (one hash byte per way, matched with branch-free SWAR
+// scans — see tags.go) the way a hardware cache resolves a parallel tag
+// match, falling back to full key comparison only on tag hits. Lookups
+// of pointer-free key/value types take no lock at all: a per-set
+// sequence word (a seqlock) validates the optimistic probe, recency is
+// deferred through a lossy per-shard touch ring that writers drain —
+// pseudo-LRU state tolerates late and dropped touches, which is the
+// paper's premise — and hit/miss counters are striped per shard
+// (lockfree.go, ring.go). Writers take exactly one shard mutex. GetBatch
+// and SetBatch amortize per-key overheads, TTL expiry is driven by a
+// hierarchical timing wheel that visits only due entries (lifecycle.go),
+// and Rebalance reuses control-plane scratch so steady-state
+// repartitioning stays allocation-free. WithImmediateRecency restores
+// the fully locked, touch-on-hit data plane when exact eviction-order
+// reproducibility matters more than read scalability.
 package cpacache
 
 import (
 	"fmt"
 	"hash/maphash"
 	"math/bits"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +71,14 @@ type Cache[K comparable, V any] struct {
 	setMask   uint64 // sets-1 when sets is a power of two, else 0
 	waysMask  uint64 // low `ways` bits set
 	tagWords  int    // packed tag words per set
+	setStride int    // words per set in shard.tags: 1 sequence word + tagWords
+
+	// deferred is false only under WithImmediateRecency: hits then call
+	// Touch under the shard lock instead of queueing on the touch ring.
+	// lockFree additionally requires pointer-free K and V and a non-race
+	// build; it routes unprofiled lookups through the seqlock path.
+	deferred bool
+	lockFree bool
 
 	// batchPool recycles the per-call scratch of GetBatch/SetBatch so
 	// steady-state batches do not allocate.
@@ -71,8 +89,11 @@ type Cache[K comparable, V any] struct {
 	// clock goroutine advances — see now(), which inlines the common
 	// atomic-load case. The clock is only consulted for slots whose
 	// per-set ttl bit is set, so caches without TTLs never read it on the
-	// hot path. ttlDefault is WithDefaultTTL in nanoseconds (0 = none).
+	// hot path. ttlDefault is WithDefaultTTL in nanoseconds (0 = none);
+	// tenantTTL[t] is the SetTenantDefaultTTL override (0 = use the
+	// cache-wide default), read atomically on the Set path.
 	ttlDefault int64
+	tenantTTL  []atomic.Int64
 	nowFn      func() int64
 	coarse     atomic.Int64
 	ttlArm     sync.Once
@@ -100,6 +121,7 @@ type Cache[K comparable, V any] struct {
 	nRebalanced    atomic.Uint64
 	nRebalanceSkip atomic.Uint64
 	nSweepExpired  atomic.Uint64
+	nSweepSkipped  atomic.Uint64
 
 	// quotaMu serializes quota changes (SetQuotas / Rebalance / budget
 	// updates); shard locks alone protect the per-shard mask copies. The
@@ -120,11 +142,14 @@ type Cache[K comparable, V any] struct {
 }
 
 // shard is one independently locked slice of the cache: sets×ways slots
-// plus its own policy instance and UMON-style profiler.
+// plus its own policy instance, touch ring, TTL wheel and UMON-style
+// profiler. The slices read by the lock-free lookup (tags, keys, vals,
+// ttl, deadline) are allocated before the cache is visible and never
+// reallocated, so a reader can never observe a torn slice header.
 type shard[K comparable, V any] struct {
 	mu    sync.Mutex
-	pol   plru.Policy
-	tags  []uint64 // tagWords per set: packed per-way tag bytes (tags.go)
+	pol   policyRef
+	tags  []uint64 // setStride words per set: sequence word + packed tag bytes (tags.go)
 	keys  []K
 	vals  []V
 	owner []int16 // tenant that filled the slot, -1 when empty
@@ -133,26 +158,81 @@ type shard[K comparable, V any] struct {
 	stats []TenantStats
 	prof  profiler[K]
 
+	// hm is the striped hit/miss plane: one cache-line-padded cell per
+	// tenant, bumped with plain increments by every lookup path and
+	// merged into TenantStats by Stats/Snapshot. Plain, not atomic, by
+	// design: an uncontended LOCK-prefixed add costs more than the whole
+	// SWAR probe, and a lost increment under simultaneous same-cell
+	// updates only nudges a monotonic gauge. Locked lookups are mutex-
+	// ordered (so race builds, where the lock-free path is off, see no
+	// race), and single-threaded executions count exactly.
+	hm []hmCell
+
+	// Deferred recency (ring.go): touchRing/touchHead are the lock-free
+	// producer side (slot words are plain — see ring.go for why that is
+	// safe); touchDrained and touchScratch belong to the drainer, under
+	// mu. touchRing is nil under WithImmediateRecency.
+	touchRing    []uint64
+	touchMask    uint64
+	touchHead    uint64
+	touchDrained uint64
+	touchScratch []plru.TouchRec
+
 	// TTL state: ttl[set] has bit w set iff the slot at (set, way w)
 	// carries a deadline, so the hot path pays one word test before ever
 	// loading a deadline; deadline[slot] is the expiry instant in the
 	// cache clock's nanoseconds (meaningful only when the bit is set).
+	// Writers store ttl words with atomic.StoreUint64 so the lock-free
+	// reader's acquire load synchronizes with the (lock-ordered)
+	// deadline-array allocation before it ever dereferences the array.
 	ttl      []uint64
 	deadline []int64
 	// cost[slot] is the WithCost measurement taken at fill time (nil
-	// when cost accounting is off); sweepCur is the sweeper's set cursor.
-	cost     []uint64
-	sweepCur int
+	// when cost accounting is off). wheel is the hierarchical TTL
+	// timing wheel (lifecycle.go), allocated on first TTL use; all its
+	// state is guarded by mu.
+	cost  []uint64
+	wheel *ttlWheel
 
 	_ [8]uint64 // keep adjacent shards off one another's cache lines
 }
 
+// hmCell is one tenant's hit/miss counters, padded to a cache line so
+// tenants hammering different counters from different cores do not
+// false-share (the per-shard striping keeps cores mostly on their own
+// shard's cells already). See the shard.hm comment for why the fields
+// are plain words; readers aggregate them with atomic loads.
+type hmCell struct {
+	hits   uint64
+	misses uint64
+	_      [6]uint64
+}
+
+// seqBase returns the index of the set's sequence word in sh.tags.
+func (c *Cache[K, V]) seqBase(set int) int { return set * c.setStride }
+
+// tagBase returns the index of the set's first packed tag word in
+// sh.tags (one past the sequence word).
+func (c *Cache[K, V]) tagBase(set int) int { return set*c.setStride + 1 }
+
+// beginSetWrite/endSetWrite bracket a mutation of the set's slots with
+// seqlock increments: odd while inconsistent, even when done. Caller
+// holds sh.mu; sbase is seqBase(set).
+func (sh *shard[K, V]) beginSetWrite(sbase int) { atomic.AddUint64(&sh.tags[sbase], 1) }
+func (sh *shard[K, V]) endSetWrite(sbase int)   { atomic.AddUint64(&sh.tags[sbase], 1) }
+
 // setTag stores the tag byte of `way` into the set's packed tag words
-// rooted at tbase.
+// rooted at tbase (= tagBase(set)).
 func (sh *shard[K, V]) setTag(tbase, way int, tag uint8) {
 	shift := uint(way&7) * 8
 	w := &sh.tags[tbase+way>>3]
 	*w = *w&^(0xFF<<shift) | uint64(tag)<<shift
+}
+
+// setTTLBits stores the set's ttl word with release semantics — see the
+// shard.ttl field comment for why plain stores are not enough.
+func (sh *shard[K, V]) setTTLBits(set int, w uint64) {
+	atomic.StoreUint64(&sh.ttl[set], w)
 }
 
 // TenantStats counts one tenant's cache traffic. Hits, Misses, Evictions
@@ -230,6 +310,8 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		shardMask:     uint64(s.shards - 1),
 		waysMask:      uint64(plru.Full(s.ways)),
 		tagWords:      tagWordsFor(s.ways),
+		setStride:     setStrideFor(s.ways),
+		deferred:      !s.immediate,
 		quotas:        evenQuotas(s.tenants, s.ways),
 		ttlDefault:    int64(s.defaultTTL),
 		stop:          make(chan struct{}),
@@ -239,6 +321,12 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		minSamples:    s.minSamples,
 		sink:          s.sink,
 	}
+	// The optimistic read path hands plain loads of keys and values to
+	// the sequence check for validation; that is only crash- and GC-safe
+	// when neither type contains pointers (see lockfree.go). Race builds
+	// keep the locked path so the detector never sees the benign races.
+	c.lockFree = c.deferred && !raceEnabled &&
+		pointerFree(reflect.TypeFor[K]()) && pointerFree(reflect.TypeFor[V]())
 	if s.nowFn != nil {
 		c.nowFn = s.nowFn
 	} else {
@@ -247,6 +335,7 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 	if s.sets&(s.sets-1) == 0 {
 		c.setMask = uint64(s.sets - 1)
 	}
+	c.tenantTTL = make([]atomic.Int64, s.tenants)
 	c.ctlCurves = make([][]uint64, s.tenants)
 	curveBuf := make([]uint64, s.tenants*(s.ways+1))
 	for t := range c.ctlCurves {
@@ -255,8 +344,8 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 	c.ctlMasks = make([]plru.WayMask, s.tenants)
 	for i := range c.shards {
 		sh := &c.shards[i]
-		sh.pol = plru.New(s.policy, s.sets, s.ways, s.tenants, s.seed+uint64(i))
-		sh.tags = make([]uint64, s.sets*c.tagWords)
+		sh.pol = newPolicyRef(s.policy, s.sets, s.ways, s.tenants, s.seed+uint64(i))
+		sh.tags = make([]uint64, s.sets*c.setStride)
 		sh.keys = make([]K, s.sets*s.ways)
 		sh.vals = make([]V, s.sets*s.ways)
 		sh.owner = make([]int16, s.sets*s.ways)
@@ -265,9 +354,16 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		}
 		sh.masks = make([]plru.WayMask, s.tenants)
 		sh.stats = make([]TenantStats, s.tenants)
+		sh.hm = make([]hmCell, s.tenants)
+		if c.deferred {
+			sh.touchRing = make([]uint64, s.touchBuffer)
+			sh.touchMask = uint64(s.touchBuffer - 1)
+			sh.touchScratch = make([]plru.TouchRec, 0, s.touchBuffer)
+		}
 		// One TTL word per set is always present (the hot path tests it
-		// unconditionally); the sets×ways deadline array is allocated
-		// lazily by armTTL, so TTL-free caches never carry it.
+		// unconditionally); the sets×ways deadline array and the timing
+		// wheel are allocated lazily by armTTL, so TTL-free caches never
+		// carry them.
 		sh.ttl = make([]uint64, s.sets)
 		if costFn != nil {
 			sh.cost = make([]uint64, s.sets*s.ways)
@@ -355,21 +451,41 @@ func (c *Cache[K, V]) Set(key K, value V) { c.SetTenant(0, key, value) }
 // the line's recency regardless of which tenant inserted it (hits are
 // global, as in the paper); a miss only records stats and the profile —
 // the caller decides whether to SetTenant the value afterwards.
+//
+// For pointer-free K and V the common case takes no lock: the probe is
+// validated by the set's sequence word and the recency update is
+// deferred through the shard's touch ring (drained by the next writer).
+// Lookups that land on a profiled set, race a writer past the retry
+// budget, or find a lapsed TTL fall back to the shard mutex; under
+// WithImmediateRecency every lookup takes it.
 func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
 	c.checkTenant(tenant)
 	h := maphash.Comparable(c.seed, key)
 	sh := &c.shards[h&c.shardMask]
 	set := c.setOf(h)
 	tag := tagOf(h)
+	if c.lockFree && !sh.prof.isSampled(set) {
+		if v, ok, done := c.getNoLock(sh, set, tenant, tag, key); done {
+			return v, ok
+		}
+	}
+	return c.getLocked(sh, set, tenant, tag, key)
+}
+
+// getLocked is the mutex-guarded lookup: the original data plane, and
+// the fallback for everything the optimistic path cannot do — profile
+// recording, expired-line reclamation, contended retries, pointerful
+// types and race builds.
+func (c *Cache[K, V]) getLocked(sh *shard[K, V], set, tenant int, tag uint8, key K) (V, bool) {
 	base := set * c.ways
-	tbase := set * c.tagWords
+	tbase := c.tagBase(set)
 
 	sh.mu.Lock()
 	if sh.prof.isSampled(set) {
 		sh.prof.record(set, tenant, key)
 	}
-	// Probe is inlined here (not findLocked) to keep the hottest path free
-	// of call overhead: one SWAR match per tag word, then key-confirm. The
+	// Probe is inlined here (not findLocked) to keep the path free of
+	// call overhead: one SWAR match per tag word, then key-confirm. The
 	// TTL test costs one word load when the slot carries no deadline; the
 	// clock is only consulted when it does.
 	for j := 0; j < c.tagWords; j++ {
@@ -377,8 +493,12 @@ func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
 			w := j*8 + markWay(bits.TrailingZeros64(m))
 			if sh.keys[base+w] == key {
 				if sh.ttl[set]&(1<<uint(w)) != 0 && sh.deadline[base+w] <= c.now() {
+					// Reclamation mutates policy state: pending ring
+					// records precede this access in program order, so
+					// they apply before the Invalidate.
+					c.drainTouches(sh)
 					exK, exV := c.expireLocked(sh, set, w)
-					sh.stats[tenant].Misses++
+					sh.hm[tenant].misses++
 					sh.mu.Unlock()
 					if c.onExpire != nil {
 						c.onExpire(exK, exV)
@@ -386,15 +506,15 @@ func (c *Cache[K, V]) GetTenant(tenant int, key K) (V, bool) {
 					var zero V
 					return zero, false
 				}
-				sh.stats[tenant].Hits++
-				sh.pol.Touch(set, w, tenant)
+				sh.hm[tenant].hits++
+				c.touchOrPush(sh, set, w, tenant)
 				v := sh.vals[base+w]
 				sh.mu.Unlock()
 				return v, true
 			}
 		}
 	}
-	sh.stats[tenant].Misses++
+	sh.hm[tenant].misses++
 	sh.mu.Unlock()
 	var zero V
 	return zero, false
@@ -416,7 +536,7 @@ const (
 // never vanish uncounted.
 func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key K, value V, deadline int64) (evKey K, evVal V, kind int) {
 	base := set * c.ways
-	tbase := set * c.tagWords
+	tbase := c.tagBase(set)
 	way := c.findLocked(sh, base, tbase, tag, key)
 	if way >= 0 {
 		// In-place update of the resident line.
@@ -469,7 +589,11 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 				// path. A victim whose TTL lapsed between the scan above
 				// and here cannot exist (we hold the lock), but a line
 				// with a future deadline is still live — Evictions.
-				way = sh.pol.Victim(set, tenant, sh.masks[tenant])
+				// Victim selection is the one write step that reads
+				// recency, so pending deferred touches apply here —
+				// updates and empty-way fills never pay a drain.
+				c.drainTouches(sh)
+				way = sh.pol.victim(set, tenant, sh.masks[tenant])
 				evKey, evVal, kind = sh.keys[base+way], sh.vals[base+way], evictLive
 				sh.stats[sh.owner[base+way]].Evictions++
 			}
@@ -478,17 +602,27 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 			}
 		}
 	}
+	sbase := c.seqBase(set)
+	sh.beginSetWrite(sbase)
 	sh.keys[base+way] = key
 	sh.vals[base+way] = value
 	sh.owner[base+way] = int16(tenant)
 	sh.setTag(tbase, way, tag)
 	if deadline != 0 {
-		sh.ttl[set] |= 1 << uint(way)
-		sh.deadline[base+way] = deadline
+		sh.setTTLBits(set, sh.ttl[set]|1<<uint(way))
+		atomic.StoreInt64(&sh.deadline[base+way], deadline)
+		sh.wheel.schedule(int32(base+way), deadline)
 	} else {
-		sh.ttl[set] &^= 1 << uint(way)
+		if sh.ttl[set]&(1<<uint(way)) != 0 {
+			sh.setTTLBits(set, sh.ttl[set]&^(1<<uint(way)))
+			sh.wheel.unlink(int32(base + way))
+		}
 	}
-	sh.pol.Touch(set, way, tenant)
+	sh.endSetWrite(sbase)
+	// The fill's own touch joins the deferred queue when records are
+	// pending, so every recency update — hit or fill — reaches the
+	// policy in program order.
+	c.touchOrPush(sh, set, way, tenant)
 	if sh.cost != nil {
 		cost := c.costFn(key, value)
 		sh.cost[base+way] = cost
@@ -507,7 +641,7 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 func (c *Cache[K, V]) SetTenant(tenant int, key K, value V) {
 	c.checkTenant(tenant)
 	sh, set, tag := c.locate(key)
-	dl := c.defaultDeadline()
+	dl := c.defaultDeadline(tenant)
 
 	sh.mu.Lock()
 	evKey, evVal, kind := c.setLocked(sh, set, tenant, tag, key, value, dl)
@@ -541,9 +675,10 @@ func (c *Cache[K, V]) displaced(evKey K, evVal V, kind int) {
 func (c *Cache[K, V]) Delete(key K) bool {
 	sh, set, tag := c.locate(key)
 	base := set * c.ways
-	tbase := set * c.tagWords
+	tbase := c.tagBase(set)
 
 	sh.mu.Lock()
+	c.drainTouches(sh) // Invalidate consults recency; apply pending first
 	w := c.findLocked(sh, base, tbase, tag, key)
 	if w < 0 {
 		sh.mu.Unlock()
@@ -573,12 +708,18 @@ func (c *Cache[K, V]) clearSlotLocked(sh *shard[K, V], set, way int) {
 		sh.stats[sh.owner[base+way]].Bytes -= sh.cost[base+way]
 		sh.cost[base+way] = 0
 	}
+	sbase := c.seqBase(set)
+	sh.beginSetWrite(sbase)
 	sh.keys[base+way] = zeroK
 	sh.vals[base+way] = zeroV
 	sh.owner[base+way] = -1
-	sh.setTag(set*c.tagWords, way, tagEmpty)
-	sh.ttl[set] &^= 1 << uint(way)
-	sh.pol.Invalidate(set, way)
+	sh.setTag(c.tagBase(set), way, tagEmpty)
+	if sh.ttl[set]&(1<<uint(way)) != 0 {
+		sh.setTTLBits(set, sh.ttl[set]&^(1<<uint(way)))
+		sh.wheel.unlink(int32(base + way))
+	}
+	sh.endSetWrite(sbase)
+	sh.pol.invalidate(set, way)
 	sh.live.Add(-1)
 }
 
@@ -630,7 +771,10 @@ func (c *Cache[K, V]) Quotas() []int {
 	return append([]int(nil), c.quotas...)
 }
 
-// Stats returns per-tenant counters aggregated over all shards.
+// Stats returns per-tenant counters aggregated over all shards. Hits and
+// misses live on the striped atomic plane (updated without the shard
+// lock); evictions, expirations and bytes are read under each shard's
+// lock, so the result is per-shard (not cross-shard) consistent.
 func (c *Cache[K, V]) Stats() []TenantStats {
 	out := make([]TenantStats, c.tenants)
 	for i := range c.shards {
@@ -638,6 +782,8 @@ func (c *Cache[K, V]) Stats() []TenantStats {
 		sh.mu.Lock()
 		for t := range out {
 			out[t].add(sh.stats[t])
+			out[t].Hits += atomic.LoadUint64(&sh.hm[t].hits)
+			out[t].Misses += atomic.LoadUint64(&sh.hm[t].misses)
 		}
 		sh.mu.Unlock()
 	}
@@ -670,8 +816,11 @@ func (c *Cache[K, V]) setQuotasLocked(quotas []int) error {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		// Pending touches apply under the outgoing masks (NRU scopes its
+		// used-bit reset by them), exactly as immediate touches would.
+		c.drainTouches(sh)
 		copy(sh.masks, masks)
-		sh.pol.SetPartition(masks)
+		sh.pol.setPartition(masks)
 		sh.mu.Unlock()
 	}
 	return nil
@@ -723,22 +872,33 @@ func (c *Cache[K, V]) MissCurves() [][]uint64 {
 	for t := range curves {
 		curves[t] = make([]uint64, c.ways+1)
 	}
-	c.missCurvesInto(curves)
+	c.missCurvesInto(curves, false)
 	return curves
 }
 
 // missCurvesInto aggregates every shard's profile into curves, which must
-// be tenants rows of ways+1 and is zeroed first.
-func (c *Cache[K, V]) missCurvesInto(curves [][]uint64) {
+// be tenants rows of ways+1 and is zeroed first. With try set the shard
+// locks are only TryLock'd — the auto-rebalance backpressure mode — and
+// the aggregation aborts (returning false) on the first contended shard,
+// leaving the profile window intact for the next tick.
+func (c *Cache[K, V]) missCurvesInto(curves [][]uint64, try bool) bool {
 	for t := range curves {
 		clear(curves[t])
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
-		sh.mu.Lock()
+		if try {
+			if !sh.mu.TryLock() {
+				return false
+			}
+		} else {
+			sh.mu.Lock()
+		}
+		c.drainTouches(sh)
 		sh.prof.addCurves(curves)
 		sh.mu.Unlock()
 	}
+	return true
 }
 
 // Rebalance recomputes the per-tenant quotas from the miss curves observed
@@ -766,13 +926,26 @@ func (c *Cache[K, V]) Rebalance() ([]int, error) {
 // the current quotas, or when the current quotas violate the budget caps.
 // The profile resets whenever a decision was made on a full window, so a
 // skipped tick starts a fresh window instead of letting stale samples
-// accumulate.
+// accumulate. Auto ticks additionally back off from contention: they
+// TryLock the shards while gathering the profile and skip the whole tick
+// (leaving the window to keep accumulating) if any shard is busy, so the
+// background control plane never queues behind a data-plane burst.
 func (c *Cache[K, V]) rebalance(auto bool) ([]int, bool, error) {
 	// quotaMu spans the whole profile-read + allocate + install cycle so
 	// concurrent Rebalance/SetQuotas calls serialize as units (shard locks
 	// are only ever taken inside quotaMu, never the other way around).
 	c.quotaMu.Lock()
-	c.missCurvesInto(c.ctlCurves)
+	if !c.missCurvesInto(c.ctlCurves, auto) {
+		c.nRebalanceSkip.Add(1)
+		quotas := append([]int(nil), c.quotas...)
+		emit := c.sink.Rebalance != nil
+		c.quotaMu.Unlock()
+		if emit {
+			// No proposal was computed, so New is nil.
+			c.sink.Rebalance(RebalanceEvent{Auto: true, Contended: true, Old: append([]int(nil), quotas...)})
+		}
+		return quotas, false, nil
+	}
 	var samples uint64
 	for t := range c.ctlCurves {
 		samples += c.ctlCurves[t][0] // curve at 0 ways = every profiled access

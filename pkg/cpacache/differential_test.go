@@ -258,7 +258,10 @@ func checkState[K comparable, V comparable](t *testing.T, c *Cache[K, V], m *ref
 		sh := &c.shards[si]
 		for set := 0; set < c.sets; set++ {
 			base := set * c.ways
-			tbase := set * c.tagWords
+			tbase := c.tagBase(set)
+			if seq := sh.tags[c.seqBase(set)]; seq&1 != 0 {
+				t.Fatalf("step %d: shard %d set %d sequence word odd (%d) with no writer in flight", step, si, set, seq)
+			}
 			for w := 0; w < c.ways; w++ {
 				slotTag := uint8(sh.tags[tbase+w>>3] >> (uint(w&7) * 8))
 				if sh.owner[base+w] != m.owner[si][base+w] {
@@ -285,6 +288,14 @@ func checkState[K comparable, V comparable](t *testing.T, c *Cache[K, V], m *ref
 				}
 				if hasTTL && sh.deadline[base+w] != m.dl[si][base+w] {
 					t.Fatalf("step %d: deadline %d, model %d", step, sh.deadline[base+w], m.dl[si][base+w])
+				}
+				// Timing-wheel invariant: a slot is linked iff it
+				// carries a deadline.
+				if sh.wheel != nil {
+					if linked := sh.wheel.where[base+w] != wheelNoBucket; linked != hasTTL {
+						t.Fatalf("step %d: shard %d set %d way %d wheel-linked=%v but ttl bit=%v",
+							step, si, set, w, linked, hasTTL)
+					}
 				}
 				if sh.cost != nil && sh.cost[base+w] != m.cost[si][base+w] {
 					t.Fatalf("step %d: slot cost %d, model %d", step, sh.cost[base+w], m.cost[si][base+w])
@@ -321,11 +332,26 @@ func randomQuotas(rng *uint64, tenants, ways int) []int {
 	return q
 }
 
+// recencyModes parametrizes differential runs over both data planes: the
+// default deferred/optimistic one (whose drain-order rule makes single-
+// threaded executions exactly equivalent as long as the touch ring never
+// overflows — the model is the proof) and the fully locked
+// WithImmediateRecency configuration, which is the issue's
+// "immediate-drain" eviction-stream-equivalence requirement.
+var recencyModes = []struct {
+	name string
+	opts []Option
+}{
+	{"deferred", nil},
+	{"immediate", []Option{WithImmediateRecency()}},
+}
+
 // TestDifferentialAgainstLinearModel drives identical random workloads
 // (gets, sets, deletes, quota changes, rebalances) through the
 // tag-accelerated cache and the linear-scan reference model under every
 // policy, on both power-of-two and odd set counts, and requires hit/miss
-// results, eviction streams, stats and full final state to match exactly.
+// results, eviction streams, stats and full final state to match exactly
+// — in both the deferred-recency and immediate-recency configurations.
 func TestDifferentialAgainstLinearModel(t *testing.T) {
 	type geo struct {
 		shards, sets, ways, tenants int
@@ -336,77 +362,79 @@ func TestDifferentialAgainstLinearModel(t *testing.T) {
 		{shards: 4, sets: 16, ways: 16, tenants: 4},
 	}
 	const polSeed = 99
-	for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random} {
-		for _, g := range geos {
-			if pol == plru.BT && g.ways&(g.ways-1) != 0 {
-				continue
-			}
-			t.Run(fmt.Sprintf("%v/%dx%dx%d", pol, g.shards, g.sets, g.ways), func(t *testing.T) {
-				var evicted []uint64
-				c, err := New[uint64, uint64](
-					WithShards(g.shards), WithSets(g.sets), WithWays(g.ways),
-					WithPolicy(pol), WithPartitions(g.tenants), WithSeed(polSeed),
-					WithProfileSampling(2),
-					WithOnEvict(func(k, v uint64) { evicted = append(evicted, k) }),
-				)
-				if err != nil {
-					t.Fatal(err)
+	for _, mode := range recencyModes {
+		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random} {
+			for _, g := range geos {
+				if pol == plru.BT && g.ways&(g.ways-1) != 0 {
+					continue
 				}
-				m := newRefModel(c, pol, polSeed)
+				t.Run(fmt.Sprintf("%s/%v/%dx%dx%d", mode.name, pol, g.shards, g.sets, g.ways), func(t *testing.T) {
+					var evicted []uint64
+					c, err := New[uint64, uint64](append([]Option{
+						WithShards(g.shards), WithSets(g.sets), WithWays(g.ways),
+						WithPolicy(pol), WithPartitions(g.tenants), WithSeed(polSeed),
+						WithProfileSampling(2),
+						WithOnEvict(func(k, v uint64) { evicted = append(evicted, k) }),
+					}, mode.opts...)...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m := newRefModel(c, pol, polSeed)
 
-				rng := uint64(g.shards*1000+g.ways) ^ uint64(pol)<<32 | 1
-				next := func() uint64 {
-					rng ^= rng << 13
-					rng ^= rng >> 7
-					rng ^= rng << 17
-					return rng
-				}
-				keySpace := uint64(g.shards * g.sets * g.ways * 2)
-				const steps = 30_000
-				for i := 0; i < steps; i++ {
-					op := next() % 100
-					tenant := int(next() % uint64(g.tenants))
-					key := next() % keySpace
-					switch {
-					case op < 55: // lookup
-						gv, gok := c.GetTenant(tenant, key)
-						mv, mok := m.get(tenant, key)
-						if gok != mok || gv != mv {
-							t.Fatalf("step %d: Get(%d,%d) = (%d,%v), model (%d,%v)", i, tenant, key, gv, gok, mv, mok)
-						}
-					case op < 85: // insert/update
-						c.SetTenant(tenant, key, key*3)
-						m.set(tenant, key, key*3)
-					case op < 95: // delete
-						if got, want := c.Delete(key), m.delete(key); got != want {
-							t.Fatalf("step %d: Delete(%d) = %v, model %v", i, key, got, want)
-						}
-					case op < 98: // quota change
-						q := randomQuotas(&rng, g.tenants, g.ways)
-						if err := c.SetQuotas(q); err != nil {
-							t.Fatalf("step %d: SetQuotas(%v): %v", i, q, err)
-						}
-						m.syncMasks()
-					default: // online repartition
-						if _, err := c.Rebalance(); err != nil {
-							t.Fatalf("step %d: Rebalance: %v", i, err)
-						}
-						m.syncMasks()
+					rng := uint64(g.shards*1000+g.ways) ^ uint64(pol)<<32 | 1
+					next := func() uint64 {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						return rng
 					}
-					if i%2048 == 0 {
-						checkState(t, c, m, i)
+					keySpace := uint64(g.shards * g.sets * g.ways * 2)
+					const steps = 30_000
+					for i := 0; i < steps; i++ {
+						op := next() % 100
+						tenant := int(next() % uint64(g.tenants))
+						key := next() % keySpace
+						switch {
+						case op < 55: // lookup
+							gv, gok := c.GetTenant(tenant, key)
+							mv, mok := m.get(tenant, key)
+							if gok != mok || gv != mv {
+								t.Fatalf("step %d: Get(%d,%d) = (%d,%v), model (%d,%v)", i, tenant, key, gv, gok, mv, mok)
+							}
+						case op < 85: // insert/update
+							c.SetTenant(tenant, key, key*3)
+							m.set(tenant, key, key*3)
+						case op < 95: // delete
+							if got, want := c.Delete(key), m.delete(key); got != want {
+								t.Fatalf("step %d: Delete(%d) = %v, model %v", i, key, got, want)
+							}
+						case op < 98: // quota change
+							q := randomQuotas(&rng, g.tenants, g.ways)
+							if err := c.SetQuotas(q); err != nil {
+								t.Fatalf("step %d: SetQuotas(%v): %v", i, q, err)
+							}
+							m.syncMasks()
+						default: // online repartition
+							if _, err := c.Rebalance(); err != nil {
+								t.Fatalf("step %d: Rebalance: %v", i, err)
+							}
+							m.syncMasks()
+						}
+						if i%2048 == 0 {
+							checkState(t, c, m, i)
+						}
 					}
-				}
-				checkState(t, c, m, steps)
-				if len(evicted) != len(m.evicts) {
-					t.Fatalf("eviction streams differ in length: %d vs model %d", len(evicted), len(m.evicts))
-				}
-				for i := range evicted {
-					if evicted[i] != m.evicts[i] {
-						t.Fatalf("eviction %d: key %d, model %d", i, evicted[i], m.evicts[i])
+					checkState(t, c, m, steps)
+					if len(evicted) != len(m.evicts) {
+						t.Fatalf("eviction streams differ in length: %d vs model %d", len(evicted), len(m.evicts))
 					}
-				}
-			})
+					for i := range evicted {
+						if evicted[i] != m.evicts[i] {
+							t.Fatalf("eviction %d: key %d, model %d", i, evicted[i], m.evicts[i])
+						}
+					}
+				})
+			}
 		}
 	}
 }
@@ -429,136 +457,139 @@ func TestDifferentialTTLAndCost(t *testing.T) {
 	}
 	const polSeed = 123
 	costOf := func(k, v uint64) uint64 { return k%7 + 1 }
-	for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random} {
-		for _, g := range geos {
-			t.Run(fmt.Sprintf("%v/%dx%dx%d", pol, g.shards, g.sets, g.ways), func(t *testing.T) {
-				clk := newFakeClock()
-				var evicted, expired []uint64
-				opts := []Option{
-					WithShards(g.shards), WithSets(g.sets), WithWays(g.ways),
-					WithPolicy(pol), WithPartitions(g.tenants), WithSeed(polSeed),
-					WithProfileSampling(2),
-					WithNow(clk.Load), WithTTLSweep(0),
-					WithCost(costOf),
-					WithOnEvict(func(k, v uint64) { evicted = append(evicted, k) }),
-					WithOnExpire(func(k, v uint64) { expired = append(expired, k) }),
-				}
-				if g.defaultTTL > 0 {
-					opts = append(opts, WithDefaultTTL(time.Duration(g.defaultTTL)))
-				}
-				c, err := New[uint64, uint64](opts...)
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer c.Close()
-				budgets := make([]uint64, g.tenants)
-				budgets[0] = 64 // tight: the capped DP actually binds
-				if err := c.SetBudgets(budgets); err != nil {
-					t.Fatal(err)
-				}
-				m := newRefModel(c, pol, polSeed)
-				m.now = clk.Load
-				m.costFn = costOf
+	for _, mode := range recencyModes {
+		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random} {
+			for _, g := range geos {
+				t.Run(fmt.Sprintf("%s/%v/%dx%dx%d", mode.name, pol, g.shards, g.sets, g.ways), func(t *testing.T) {
+					clk := newFakeClock()
+					var evicted, expired []uint64
+					opts := []Option{
+						WithShards(g.shards), WithSets(g.sets), WithWays(g.ways),
+						WithPolicy(pol), WithPartitions(g.tenants), WithSeed(polSeed),
+						WithProfileSampling(2),
+						WithNow(clk.Load), WithTTLSweep(0),
+						WithCost(costOf),
+						WithOnEvict(func(k, v uint64) { evicted = append(evicted, k) }),
+						WithOnExpire(func(k, v uint64) { expired = append(expired, k) }),
+					}
+					opts = append(opts, mode.opts...)
+					if g.defaultTTL > 0 {
+						opts = append(opts, WithDefaultTTL(time.Duration(g.defaultTTL)))
+					}
+					c, err := New[uint64, uint64](opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer c.Close()
+					budgets := make([]uint64, g.tenants)
+					budgets[0] = 64 // tight: the capped DP actually binds
+					if err := c.SetBudgets(budgets); err != nil {
+						t.Fatal(err)
+					}
+					m := newRefModel(c, pol, polSeed)
+					m.now = clk.Load
+					m.costFn = costOf
 
-				rng := uint64(g.shards*999+g.ways) ^ uint64(pol)<<24 | 1
-				next := func() uint64 {
-					rng ^= rng << 13
-					rng ^= rng >> 7
-					rng ^= rng << 17
-					return rng
-				}
-				ttlChoice := func() time.Duration {
-					switch next() % 4 {
-					case 0:
-						return -5 * time.Nanosecond // born expired
-					case 1:
-						return 0 // pinned
-					case 2:
-						return 20 * time.Nanosecond
-					default:
-						return 500 * time.Nanosecond
+					rng := uint64(g.shards*999+g.ways) ^ uint64(pol)<<24 | 1
+					next := func() uint64 {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						return rng
 					}
-				}
-				keySpace := uint64(g.shards * g.sets * g.ways * 2)
-				const steps = 30_000
-				for i := 0; i < steps; i++ {
-					op := next() % 100
-					tenant := int(next() % uint64(g.tenants))
-					key := next() % keySpace
-					switch {
-					case op < 40: // lookup
-						gv, gok := c.GetTenant(tenant, key)
-						mv, mok := m.get(tenant, key)
-						if gok != mok || gv != mv {
-							t.Fatalf("step %d: Get(%d,%d) = (%d,%v), model (%d,%v)", i, tenant, key, gv, gok, mv, mok)
+					ttlChoice := func() time.Duration {
+						switch next() % 4 {
+						case 0:
+							return -5 * time.Nanosecond // born expired
+						case 1:
+							return 0 // pinned
+						case 2:
+							return 20 * time.Nanosecond
+						default:
+							return 500 * time.Nanosecond
 						}
-					case op < 62: // plain insert/update (default TTL applies)
-						var dl int64
-						if g.defaultTTL > 0 {
-							dl = clk.Load() + g.defaultTTL
-						}
-						c.SetTenant(tenant, key, key*3)
-						m.setDL(tenant, key, key*3, dl)
-					case op < 74: // insert/update with explicit TTL
-						ttl := ttlChoice()
-						var dl int64
-						if ttl != 0 {
-							dl = clk.Load() + int64(ttl)
-						}
-						c.SetTenantTTL(tenant, key, key*3, ttl)
-						m.setDL(tenant, key, key*3, dl)
-					case op < 80: // re-arm TTL
-						ttl := ttlChoice()
-						var dl int64
-						if ttl != 0 {
-							dl = clk.Load() + int64(ttl)
-						}
-						if got, want := c.SetTTL(key, ttl), m.setTTL(key, dl); got != want {
-							t.Fatalf("step %d: SetTTL(%d,%v) = %v, model %v", i, key, ttl, got, want)
-						}
-					case op < 87: // delete
-						if got, want := c.Delete(key), m.delete(key); got != want {
-							t.Fatalf("step %d: Delete(%d) = %v, model %v", i, key, got, want)
-						}
-					case op < 92: // time passes
-						clk.advance(time.Duration(next() % 60))
-					case op < 95: // quota change
-						q := randomQuotas(&rng, g.tenants, g.ways)
-						if err := c.SetQuotas(q); err != nil {
-							t.Fatalf("step %d: SetQuotas(%v): %v", i, q, err)
-						}
-						m.syncMasks()
-					default: // budget-capped online repartition
-						if _, err := c.Rebalance(); err != nil {
-							t.Fatalf("step %d: Rebalance: %v", i, err)
-						}
-						m.syncMasks()
 					}
-					if i%2048 == 0 {
-						checkState(t, c, m, i)
+					keySpace := uint64(g.shards * g.sets * g.ways * 2)
+					const steps = 30_000
+					for i := 0; i < steps; i++ {
+						op := next() % 100
+						tenant := int(next() % uint64(g.tenants))
+						key := next() % keySpace
+						switch {
+						case op < 40: // lookup
+							gv, gok := c.GetTenant(tenant, key)
+							mv, mok := m.get(tenant, key)
+							if gok != mok || gv != mv {
+								t.Fatalf("step %d: Get(%d,%d) = (%d,%v), model (%d,%v)", i, tenant, key, gv, gok, mv, mok)
+							}
+						case op < 62: // plain insert/update (default TTL applies)
+							var dl int64
+							if g.defaultTTL > 0 {
+								dl = clk.Load() + g.defaultTTL
+							}
+							c.SetTenant(tenant, key, key*3)
+							m.setDL(tenant, key, key*3, dl)
+						case op < 74: // insert/update with explicit TTL
+							ttl := ttlChoice()
+							var dl int64
+							if ttl != 0 {
+								dl = clk.Load() + int64(ttl)
+							}
+							c.SetTenantTTL(tenant, key, key*3, ttl)
+							m.setDL(tenant, key, key*3, dl)
+						case op < 80: // re-arm TTL
+							ttl := ttlChoice()
+							var dl int64
+							if ttl != 0 {
+								dl = clk.Load() + int64(ttl)
+							}
+							if got, want := c.SetTTL(key, ttl), m.setTTL(key, dl); got != want {
+								t.Fatalf("step %d: SetTTL(%d,%v) = %v, model %v", i, key, ttl, got, want)
+							}
+						case op < 87: // delete
+							if got, want := c.Delete(key), m.delete(key); got != want {
+								t.Fatalf("step %d: Delete(%d) = %v, model %v", i, key, got, want)
+							}
+						case op < 92: // time passes
+							clk.advance(time.Duration(next() % 60))
+						case op < 95: // quota change
+							q := randomQuotas(&rng, g.tenants, g.ways)
+							if err := c.SetQuotas(q); err != nil {
+								t.Fatalf("step %d: SetQuotas(%v): %v", i, q, err)
+							}
+							m.syncMasks()
+						default: // budget-capped online repartition
+							if _, err := c.Rebalance(); err != nil {
+								t.Fatalf("step %d: Rebalance: %v", i, err)
+							}
+							m.syncMasks()
+						}
+						if i%2048 == 0 {
+							checkState(t, c, m, i)
+						}
 					}
-				}
-				checkState(t, c, m, steps)
-				if len(evicted) != len(m.evicts) {
-					t.Fatalf("eviction streams differ in length: %d vs model %d", len(evicted), len(m.evicts))
-				}
-				for i := range evicted {
-					if evicted[i] != m.evicts[i] {
-						t.Fatalf("eviction %d: key %d, model %d", i, evicted[i], m.evicts[i])
+					checkState(t, c, m, steps)
+					if len(evicted) != len(m.evicts) {
+						t.Fatalf("eviction streams differ in length: %d vs model %d", len(evicted), len(m.evicts))
 					}
-				}
-				if len(expired) != len(m.expires) {
-					t.Fatalf("expiration streams differ in length: %d vs model %d", len(expired), len(m.expires))
-				}
-				for i := range expired {
-					if expired[i] != m.expires[i] {
-						t.Fatalf("expiration %d: key %d, model %d", i, expired[i], m.expires[i])
+					for i := range evicted {
+						if evicted[i] != m.evicts[i] {
+							t.Fatalf("eviction %d: key %d, model %d", i, evicted[i], m.evicts[i])
+						}
 					}
-				}
-				if len(m.expires) == 0 {
-					t.Fatal("workload never expired anything; TTL coverage is vacuous")
-				}
-			})
+					if len(expired) != len(m.expires) {
+						t.Fatalf("expiration streams differ in length: %d vs model %d", len(expired), len(m.expires))
+					}
+					for i := range expired {
+						if expired[i] != m.expires[i] {
+							t.Fatalf("expiration %d: key %d, model %d", i, expired[i], m.expires[i])
+						}
+					}
+					if len(m.expires) == 0 {
+						t.Fatal("workload never expired anything; TTL coverage is vacuous")
+					}
+				})
+			}
 		}
 	}
 }
@@ -566,13 +597,21 @@ func TestDifferentialTTLAndCost(t *testing.T) {
 // TestDifferentialBatchOps replays a workload through batch APIs on one
 // cache and per-key APIs on another sharing the same hash seed; the final
 // contents, stats and per-key results must match (batching only changes
-// cross-shard interleaving, which is semantically inert).
+// cross-shard interleaving, which is semantically inert). Both recency
+// configurations run: the default exercises the lock-free per-key
+// GetBatch, the immediate one the shard-grouped single-lock walk.
 func TestDifferentialBatchOps(t *testing.T) {
+	for _, mode := range recencyModes {
+		t.Run(mode.name, func(t *testing.T) { diffBatchOps(t, mode.opts...) })
+	}
+}
+
+func diffBatchOps(t *testing.T, modeOpts ...Option) {
 	build := func() *Cache[uint64, uint64] {
-		c, err := New[uint64, uint64](
+		c, err := New[uint64, uint64](append([]Option{
 			WithShards(4), WithSets(8), WithWays(8),
 			WithPolicy(plru.BT), WithPartitions(2), WithSeed(5),
-		)
+		}, modeOpts...)...)
 		if err != nil {
 			t.Fatal(err)
 		}

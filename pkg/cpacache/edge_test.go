@@ -10,7 +10,7 @@ import (
 // waysOf returns the way a resident key occupies, or -1 (white box).
 func waysOf[K comparable, V any](c *Cache[K, V], key K) (*shard[K, V], int, int) {
 	sh, set, tag := c.locate(key)
-	return sh, set, c.findLocked(sh, set*c.ways, set*c.tagWords, tag, key)
+	return sh, set, c.findLocked(sh, set*c.ways, c.tagBase(set), tag, key)
 }
 
 // TestFillUnownedWayOutsidePartition pins the single-pass empty-way scan's
@@ -67,13 +67,13 @@ func TestDeleteClearsTagAndRecency(t *testing.T) {
 			if !c.Delete("k1") {
 				t.Fatal("Delete missed")
 			}
-			if tag := uint8(sh.tags[set*c.tagWords+w>>3] >> (uint(w&7) * 8)); tag != tagEmpty {
+			if tag := uint8(sh.tags[c.tagBase(set)+w>>3] >> (uint(w&7) * 8)); tag != tagEmpty {
 				t.Fatalf("freed way still carries tag %#x", tag)
 			}
 			if sh.owner[set*c.ways+w] != -1 {
 				t.Fatal("freed way still owned")
 			}
-			switch p := sh.pol.(type) {
+			switch p := sh.pol.iface().(type) {
 			case *plru.LRUPolicy:
 				if d := p.Dist(set, w); d != 4 {
 					t.Fatalf("freed way at LRU distance %d, want 4 (least recent)", d)

@@ -2,22 +2,27 @@ package cpacache
 
 import (
 	"fmt"
-	"math/bits"
+	"sync/atomic"
 	"time"
 )
 
 // Lifecycle management: TTL/expiry, the background goroutines (coarse
-// clock, incremental sweeper, auto-rebalance ticker) and byte budgets.
+// clock, timing-wheel sweeper, auto-rebalance ticker) and byte budgets.
 //
 // Expiry is hardware-flavored like the rest of the cache: each set keeps
 // one word with a bit per way marking slots that carry a deadline, so the
 // lookup hot path pays a single word test when the probed line has no TTL
 // and one clock read when it does — the Get path stays allocation-free
 // and within noise of the TTL-less probe. Reclamation is lazy (any
-// lookup, Set or Delete that lands on an expired line reclaims it) plus
-// an incremental background sweeper that walks a chunk of every shard's
-// sets per tick, so idle expired entries are bounded without a
-// stop-the-world scan.
+// lookup, Set or Delete that lands on an expired line reclaims it) plus a
+// background sweeper driven by a hierarchical timing wheel: every
+// deadline-carrying slot is linked — through intrusive doubly linked
+// lists, so inserts, moves and removals are O(1) and allocation-free —
+// into the bucket of the wheel level matching its distance-to-deadline,
+// and a sweep tick visits only the entries that are actually due instead
+// of scanning sets. A tick that finds a shard's lock contended skips that
+// shard (backpressure; the entries remain linked and the next tick
+// retries) and reports the skip through the metrics sink.
 //
 // The TTL clock is deliberately coarse: a background goroutine stores
 // time.Now().UnixNano() into an atomic every clockResolution, and the hot
@@ -29,9 +34,192 @@ import (
 // therefore the precision of TTL expiry under the built-in clock.
 const clockResolution = time.Millisecond
 
-// sweepChunks is the number of ticks a full sweep pass is spread over:
-// each tick sweeps ceil(sets/sweepChunks) sets per shard.
-const sweepChunks = 16
+// Timing-wheel geometry. Each of the wheelLevels levels has wheelSlots
+// buckets; a level-0 bucket spans one wheelTick (= the clock
+// resolution), level 1 spans wheelSlots ticks, level 2 wheelSlots²
+// ticks, giving the wheel a ~4.4-minute horizon at the 1ms tick. Slots
+// due beyond the horizon sit in the overflow list and are re-filed when
+// the wheel's level-2 window wraps; slots already due sit in the due
+// list, which every sweep tick examines.
+const (
+	wheelTick       = int64(clockResolution)
+	wheelSlots      = 64
+	wheelLevels     = 3
+	wheelDueBucket  = wheelLevels * wheelSlots
+	wheelOverflow   = wheelDueBucket + 1
+	wheelNumBuckets = wheelOverflow + 1
+	wheelJumpRescan = wheelSlots * wheelSlots // clock jumped past the L0+L1 horizon: rescan
+	wheelHorizon    = wheelSlots * wheelSlots * wheelSlots
+	wheelNoBucket   = int32(-1)
+	wheelListEnd    = int32(-1)
+)
+
+// ttlWheel is one shard's hierarchical timing wheel. All state is
+// guarded by the shard mutex. Links are intrusive: next/prev/where are
+// indexed by slot (set*ways+way), so a slot is in at most one bucket and
+// every operation is pointer surgery on preallocated arrays — the wheel
+// never allocates after armTTL.
+type ttlWheel struct {
+	next, prev []int32
+	where      []int32 // bucket the slot is linked into, wheelNoBucket when unlinked
+	heads      [wheelNumBuckets]int32
+	cur        int64 // last fully processed tick (deadline / wheelTick)
+}
+
+func newTTLWheel(slots int, nowTick int64) *ttlWheel {
+	w := &ttlWheel{
+		next:  make([]int32, slots),
+		prev:  make([]int32, slots),
+		where: make([]int32, slots),
+		cur:   nowTick,
+	}
+	for i := range w.where {
+		w.where[i] = wheelNoBucket
+	}
+	for i := range w.heads {
+		w.heads[i] = wheelListEnd
+	}
+	return w
+}
+
+// bucketFor maps a deadline to the bucket that will examine it next.
+func (w *ttlWheel) bucketFor(d int64) int32 {
+	t := d / wheelTick
+	delta := t - w.cur
+	switch {
+	case delta <= 0:
+		return wheelDueBucket
+	case delta < wheelSlots:
+		return int32(t & (wheelSlots - 1))
+	case delta < wheelSlots*wheelSlots:
+		return int32(wheelSlots + (t>>6)&(wheelSlots-1))
+	case delta < wheelHorizon:
+		return int32(2*wheelSlots + (t>>12)&(wheelSlots-1))
+	default:
+		return wheelOverflow
+	}
+}
+
+// link pushes slot onto the front of bucket b.
+func (w *ttlWheel) link(slot, b int32) {
+	w.prev[slot] = wheelListEnd
+	w.next[slot] = w.heads[b]
+	if h := w.heads[b]; h != wheelListEnd {
+		w.prev[h] = slot
+	}
+	w.heads[b] = slot
+	w.where[slot] = b
+}
+
+// unlink removes slot from whatever bucket holds it; a no-op when the
+// slot is not linked (or the wheel was never armed).
+func (w *ttlWheel) unlink(slot int32) {
+	if w == nil || w.where[slot] == wheelNoBucket {
+		return
+	}
+	if p := w.prev[slot]; p != wheelListEnd {
+		w.next[p] = w.next[slot]
+	} else {
+		w.heads[w.where[slot]] = w.next[slot]
+	}
+	if n := w.next[slot]; n != wheelListEnd {
+		w.prev[n] = w.prev[slot]
+	}
+	w.where[slot] = wheelNoBucket
+}
+
+// schedule (re)files slot under its new deadline, moving it between
+// buckets if it was already linked. No-op when the wheel is not armed
+// (then reclamation is purely lazy, as with WithTTLSweep(0) before).
+func (w *ttlWheel) schedule(slot int32, d int64) {
+	if w == nil {
+		return
+	}
+	w.unlink(slot)
+	w.link(slot, w.bucketFor(d))
+}
+
+// advanceWheelLocked moves the shard's wheel forward to now, expiring
+// every linked slot whose deadline lapsed and cascading not-yet-due
+// entries toward level 0. Expired pairs are appended to exK/exV for the
+// caller to hand to OnExpire outside the lock; the return also counts
+// the wheel entries visited. Caller holds sh.mu.
+func (c *Cache[K, V]) advanceWheelLocked(sh *shard[K, V], now int64, exK []K, exV []V) ([]K, []V, int) {
+	w := sh.wheel
+	if w == nil {
+		return exK, exV, 0
+	}
+	visited := 0
+	tNow := now / wheelTick
+	switch {
+	case tNow-w.cur > wheelJumpRescan:
+		// The clock jumped far past the fine levels (a test clock, or a
+		// sweeper that was starved for minutes): re-examine everything
+		// once instead of replaying millions of empty ticks.
+		w.cur = tNow
+		for b := int32(0); b < wheelNumBuckets; b++ {
+			exK, exV = c.wheelVisit(sh, b, now, &visited, exK, exV)
+		}
+		return exK, exV, visited
+	case tNow > w.cur:
+		for w.cur < tNow {
+			w.cur++
+			cur := w.cur
+			if cur&(wheelSlots-1) == 0 {
+				// Entering a new level-1 window: pull its bucket down.
+				c.wheelRefile(sh, int32(wheelSlots+(cur>>6)&(wheelSlots-1)))
+				if cur&(wheelSlots*wheelSlots-1) == 0 {
+					c.wheelRefile(sh, int32(2*wheelSlots+(cur>>12)&(wheelSlots-1)))
+					if cur&(wheelHorizon-1) == 0 {
+						c.wheelRefile(sh, wheelOverflow)
+					}
+				}
+			}
+			exK, exV = c.wheelVisit(sh, int32(cur&(wheelSlots-1)), now, &visited, exK, exV)
+		}
+	}
+	exK, exV = c.wheelVisit(sh, wheelDueBucket, now, &visited, exK, exV)
+	return exK, exV, visited
+}
+
+// wheelVisit walks bucket b, expiring slots whose deadline lapsed and
+// moving the rest toward their correct bucket (entries that are not yet
+// due stay parked in the due list until they are). The walk captures
+// each next pointer before mutating, so re-filed entries pushed onto a
+// bucket front are not revisited.
+func (c *Cache[K, V]) wheelVisit(sh *shard[K, V], b int32, now int64, visited *int, exK []K, exV []V) ([]K, []V) {
+	w := sh.wheel
+	for slot := w.heads[b]; slot != wheelListEnd; {
+		nxt := w.next[slot]
+		*visited++
+		if d := sh.deadline[slot]; d <= now {
+			set, way := int(slot)/c.ways, int(slot)%c.ways
+			k, v := c.expireLocked(sh, set, way) // clearSlotLocked unlinks
+			exK = append(exK, k)
+			exV = append(exV, v)
+		} else if nb := w.bucketFor(d); nb != b {
+			w.unlink(slot)
+			w.link(slot, nb)
+		}
+		slot = nxt
+	}
+	return exK, exV
+}
+
+// wheelRefile cascades bucket b: every entry moves to the bucket its
+// deadline now maps to (level 0, or the due list if it lapsed — the due
+// walk at the end of the advance expires it).
+func (c *Cache[K, V]) wheelRefile(sh *shard[K, V], b int32) {
+	w := sh.wheel
+	for slot := w.heads[b]; slot != wheelListEnd; {
+		nxt := w.next[slot]
+		if nb := w.bucketFor(sh.deadline[slot]); nb != b {
+			w.unlink(slot)
+			w.link(slot, nb)
+		}
+		slot = nxt
+	}
+}
 
 // now returns the TTL clock reading. The common case — no WithNow — is a
 // nil check plus one atomic load, small enough to inline into the lookup
@@ -45,27 +233,33 @@ func (c *Cache[K, V]) now() int64 {
 }
 
 // armTTL starts the TTL machinery on first use (construction with a
-// default TTL, or the first SetTTL/SetTenantTTL call): the coarse clock
-// goroutine — unless WithNow supplied one — and the incremental sweeper,
+// default TTL, or the first SetTTL/SetTenantTTL/SetTenantDefaultTTL
+// call): the per-slot deadline arrays and timing wheels, the coarse
+// clock goroutine — unless WithNow supplied one — and the sweeper,
 // unless sweeping is disabled. Idempotent and cheap after the first call.
 func (c *Cache[K, V]) armTTL() {
 	c.ttlArm.Do(func() {
-		// Allocate the per-slot deadline arrays now that TTLs exist. A
-		// deadline is only ever read for a slot whose per-set TTL bit is
-		// set, and bits are only set by writes that happen after this
-		// (under the shard lock), so every reader finds the array.
-		for i := range c.shards {
-			sh := &c.shards[i]
-			sh.mu.Lock()
-			sh.deadline = make([]int64, c.sets*c.ways)
-			sh.mu.Unlock()
-		}
 		if c.nowFn == nil {
 			// The coarse clock was last stored at New and has been idle
 			// since; catch it up before the first deadline is computed
 			// from it, or a TTL shorter than the cache's age would be
 			// born already expired.
 			c.coarse.Store(time.Now().UnixNano())
+		}
+		nowTick := c.now() / wheelTick
+		// Allocate the per-slot deadline arrays and wheels now that TTLs
+		// exist. A deadline is only ever read for a slot whose per-set
+		// ttl bit is set; bits are stored atomically (release) after this
+		// lock-ordered allocation, so even the lock-free reader's
+		// acquire load of a set bit proves the arrays are visible.
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			sh.deadline = make([]int64, c.sets*c.ways)
+			sh.wheel = newTTLWheel(c.sets*c.ways, nowTick)
+			sh.mu.Unlock()
+		}
+		if c.nowFn == nil {
 			c.goBG(c.clockLoop)
 		}
 		if c.sweepInterval > 0 {
@@ -104,12 +298,11 @@ func (c *Cache[K, V]) clockLoop() {
 	}
 }
 
-// sweepLoop runs the incremental expiry sweeper until Close.
+// sweepLoop runs the timing-wheel sweeper until Close.
 func (c *Cache[K, V]) sweepLoop() {
 	defer c.bg.Done()
 	t := time.NewTicker(c.sweepInterval)
 	defer t.Stop()
-	chunk := (c.sets + sweepChunks - 1) / sweepChunks
 	var exK []K
 	var exV []V
 	for {
@@ -117,57 +310,51 @@ func (c *Cache[K, V]) sweepLoop() {
 		case <-c.stop:
 			return
 		case <-t.C:
-			scanned, expired := 0, 0
-			for i := range c.shards {
-				exK, exV = c.sweepShard(&c.shards[i], chunk, exK[:0], exV[:0])
-				scanned += chunk
-				expired += len(exK)
-				for j := range exK {
-					if c.onExpire != nil {
-						c.onExpire(exK[j], exV[j])
-					}
-				}
-				clear(exK)
-				clear(exV)
-			}
-			if expired > 0 {
-				c.nSweepExpired.Add(uint64(expired))
-				if c.sink.Sweep != nil {
-					c.sink.Sweep(SweepEvent{SetsScanned: scanned, Expired: expired})
-				}
-			}
+			exK, exV = c.sweepOnce(exK, exV)
 		}
 	}
 }
 
-// sweepShard scans the next `chunk` sets of one shard from its cursor,
-// reclaiming expired entries. The expired pairs are appended to exK/exV
-// for the caller to hand to OnExpire after the lock is released.
-func (c *Cache[K, V]) sweepShard(sh *shard[K, V], chunk int, exK []K, exV []V) ([]K, []V) {
-	sh.mu.Lock()
+// sweepOnce runs one sweeper tick over every shard: drain the touch
+// ring, advance the wheel, reclaim due entries, run OnExpire outside the
+// lock. A shard whose mutex is contended is skipped — the data plane
+// owns it right now, and whatever was due stays linked for the next tick
+// — with the skip surfaced through SweepEvent.Skipped. The exK/exV
+// buffers are reused tick to tick so steady-state sweeping does not
+// allocate.
+func (c *Cache[K, V]) sweepOnce(exK []K, exV []V) ([]K, []V) {
 	now := c.now()
-	for n := 0; n < chunk; n++ {
-		set := sh.sweepCur
-		sh.sweepCur++
-		if sh.sweepCur >= c.sets {
-			sh.sweepCur = 0
-		}
-		w := sh.ttl[set]
-		if w == 0 {
+	expired, visited, skipped := 0, 0, 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if !sh.mu.TryLock() {
+			skipped++
 			continue
 		}
-		base := set * c.ways
-		for ; w != 0; w &= w - 1 {
-			way := bits.TrailingZeros64(w)
-			if sh.deadline[base+way] <= now {
-				k, v := c.expireLocked(sh, set, way)
-				exK = append(exK, k)
-				exV = append(exV, v)
+		c.drainTouches(sh)
+		var vis int
+		exK, exV, vis = c.advanceWheelLocked(sh, now, exK[:0], exV[:0])
+		sh.mu.Unlock()
+		visited += vis
+		expired += len(exK)
+		for j := range exK {
+			if c.onExpire != nil {
+				c.onExpire(exK[j], exV[j])
 			}
 		}
+		clear(exK)
+		clear(exV)
 	}
-	sh.mu.Unlock()
-	return exK, exV
+	if expired > 0 {
+		c.nSweepExpired.Add(uint64(expired))
+	}
+	if skipped > 0 {
+		c.nSweepSkipped.Add(uint64(skipped))
+	}
+	if (expired > 0 || skipped > 0) && c.sink.Sweep != nil {
+		c.sink.Sweep(SweepEvent{Visited: visited, Expired: expired, Skipped: skipped})
+	}
+	return exK[:0], exV[:0]
 }
 
 // autoRebalanceLoop drives rebalance(auto) every WithAutoRebalance
@@ -206,13 +393,18 @@ func (c *Cache[K, V]) Close() error {
 	return nil
 }
 
-// defaultDeadline returns the expiry instant for an entry inserted now
-// under the default TTL, or 0 when no default is configured.
-func (c *Cache[K, V]) defaultDeadline() int64 {
-	if c.ttlDefault == 0 {
+// defaultDeadline returns the expiry instant for an entry tenant inserts
+// now without an explicit TTL: the tenant's SetTenantDefaultTTL override
+// if one is set, else the cache-wide WithDefaultTTL, else 0 (no expiry).
+func (c *Cache[K, V]) defaultDeadline(tenant int) int64 {
+	ttl := c.tenantTTL[tenant].Load()
+	if ttl == 0 {
+		ttl = c.ttlDefault
+	}
+	if ttl == 0 {
 		return 0
 	}
-	return c.now() + c.ttlDefault
+	return c.now() + ttl
 }
 
 // deadlineFor converts a per-entry TTL into an expiry instant: ttl > 0
@@ -226,11 +418,36 @@ func (c *Cache[K, V]) deadlineFor(ttl time.Duration) int64 {
 	return c.now() + int64(ttl)
 }
 
+// SetTenantDefaultTTL overrides the cache-wide default TTL for one
+// tenant: entries the tenant inserts without an explicit TTL (SetTenant,
+// Set, SetBatch) expire after d. d == 0 removes the override (the
+// WithDefaultTTL value, if any, applies again); d must not be negative.
+// Entries already resident keep their deadlines — the override applies
+// to subsequent inserts, like WithDefaultTTL itself.
+func (c *Cache[K, V]) SetTenantDefaultTTL(tenant int, d time.Duration) error {
+	c.checkTenant(tenant)
+	if d < 0 {
+		return fmt.Errorf("cpacache: tenant default TTL must be >= 0, got %v", d)
+	}
+	if d > 0 {
+		c.armTTL()
+	}
+	c.tenantTTL[tenant].Store(int64(d))
+	return nil
+}
+
+// TenantDefaultTTL returns the tenant's SetTenantDefaultTTL override, or
+// 0 when the tenant uses the cache-wide default.
+func (c *Cache[K, V]) TenantDefaultTTL(tenant int) time.Duration {
+	c.checkTenant(tenant)
+	return time.Duration(c.tenantTTL[tenant].Load())
+}
+
 // SetTenantTTL inserts or updates key → value on behalf of tenant with an
-// explicit TTL, overriding any WithDefaultTTL for this entry: ttl > 0
-// expires the entry after ttl, ttl == 0 pins it (no expiry), ttl < 0
-// inserts it already expired. Quota enforcement, eviction and callbacks
-// behave exactly as SetTenant.
+// explicit TTL, overriding any default for this entry: ttl > 0 expires
+// the entry after ttl, ttl == 0 pins it (no expiry), ttl < 0 inserts it
+// already expired. Quota enforcement, eviction and callbacks behave
+// exactly as SetTenant.
 func (c *Cache[K, V]) SetTenantTTL(tenant int, key K, value V, ttl time.Duration) {
 	c.checkTenant(tenant)
 	// A ttl of 0 pins the entry — no deadline will ever be stored, so a
@@ -260,7 +477,7 @@ func (c *Cache[K, V]) SetTTL(key K, ttl time.Duration) bool {
 	}
 	sh, set, tag := c.locate(key)
 	base := set * c.ways
-	tbase := set * c.tagWords
+	tbase := c.tagBase(set)
 
 	sh.mu.Lock()
 	w := c.findLocked(sh, base, tbase, tag, key)
@@ -269,6 +486,7 @@ func (c *Cache[K, V]) SetTTL(key K, ttl time.Duration) bool {
 		return false
 	}
 	if sh.ttl[set]&(1<<uint(w)) != 0 && sh.deadline[base+w] <= c.now() {
+		c.drainTouches(sh) // Invalidate consults recency
 		exK, exV := c.expireLocked(sh, set, w)
 		sh.mu.Unlock()
 		if c.onExpire != nil {
@@ -276,12 +494,17 @@ func (c *Cache[K, V]) SetTTL(key K, ttl time.Duration) bool {
 		}
 		return false
 	}
+	sbase := c.seqBase(set)
+	sh.beginSetWrite(sbase)
 	if dl := c.deadlineFor(ttl); dl != 0 {
-		sh.ttl[set] |= 1 << uint(w)
-		sh.deadline[base+w] = dl
-	} else {
-		sh.ttl[set] &^= 1 << uint(w)
+		sh.setTTLBits(set, sh.ttl[set]|1<<uint(w))
+		atomic.StoreInt64(&sh.deadline[base+w], dl)
+		sh.wheel.schedule(int32(base+w), dl)
+	} else if sh.ttl[set]&(1<<uint(w)) != 0 {
+		sh.setTTLBits(set, sh.ttl[set]&^(1<<uint(w)))
+		sh.wheel.unlink(int32(base + w))
 	}
+	sh.endSetWrite(sbase)
 	sh.mu.Unlock()
 	return true
 }

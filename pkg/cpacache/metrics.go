@@ -19,7 +19,7 @@ type MetricsSink struct {
 	// that were held back by hysteresis.
 	Rebalance func(RebalanceEvent)
 	// Sweep is called after a background sweep tick that reclaimed at
-	// least one expired entry.
+	// least one expired entry or skipped at least one contended shard.
 	Sweep func(SweepEvent)
 }
 
@@ -31,6 +31,11 @@ type RebalanceEvent struct {
 	// rebalances always apply; auto ticks may be held back by hysteresis
 	// (too few samples, or too little predicted gain).
 	Applied bool
+	// Contended is true for auto ticks that were skipped before any
+	// proposal was computed because a shard's lock was busy (the
+	// backpressure rule: the background control plane never queues
+	// behind a data-plane burst). New is nil on contended events.
+	Contended bool
 	// Old and New are the quotas before the decision and the proposal
 	// (installed only when Applied). Both are copies owned by the sink.
 	Old, New []int
@@ -43,14 +48,20 @@ type RebalanceEvent struct {
 	PredictedMissesOld, PredictedMissesNew uint64
 }
 
-// SweepEvent describes one background sweep tick that found expired
-// entries.
+// SweepEvent describes one background sweep tick that reclaimed expired
+// entries or backed off from contention.
 type SweepEvent struct {
-	// SetsScanned is the number of sets examined across all shards this
-	// tick (the sweeper walks the cache incrementally).
-	SetsScanned int
+	// Visited is the number of timing-wheel entries the tick examined
+	// across all shards — due entries plus any that were parked just
+	// short of their deadline. The wheel visits only deadline-carrying
+	// slots, never whole sets.
+	Visited int
 	// Expired is the number of entries reclaimed this tick.
 	Expired int
+	// Skipped is the number of shards whose sweep was skipped this tick
+	// because their lock was contended; their due entries remain linked
+	// and the next tick retries.
+	Skipped int
 }
 
 // Snapshot is a point-in-time view of the cache's lifecycle state, taken
@@ -74,6 +85,9 @@ type Snapshot struct {
 	// over the cache's lifetime (lazily reclaimed entries are counted
 	// per tenant in Tenants[t].Expirations alongside these).
 	SweepExpired uint64
+	// SweepSkipped counts shard sweeps skipped because the shard lock
+	// was contended when the sweeper's tick tried to take it.
+	SweepSkipped uint64
 }
 
 // Snapshot returns a point-in-time metrics frame: per-tenant counters,
@@ -84,6 +98,7 @@ func (c *Cache[K, V]) Snapshot() Snapshot {
 		Len:          c.Len(),
 		Capacity:     c.Capacity(),
 		SweepExpired: c.nSweepExpired.Load(),
+		SweepSkipped: c.nSweepSkipped.Load(),
 	}
 	// Quotas and the rebalance counters read under quotaMu (which
 	// rebalance holds across install + counter bump), so a frame never

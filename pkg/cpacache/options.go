@@ -31,6 +31,9 @@ type settings struct {
 	hysteresis    float64
 	minSamples    uint64
 
+	immediate   bool
+	touchBuffer int
+
 	sink MetricsSink
 }
 
@@ -52,11 +55,12 @@ func newSettings(opts []Option) (settings, error) {
 		ways:          8,
 		policy:        plru.BT,
 		tenants:       1,
-		sampleEvery:   8,
+		sampleEvery:   16,
 		seed:          1,
 		sweepInterval: 100 * time.Millisecond,
 		hysteresis:    0.05,
 		minSamples:    128,
+		touchBuffer:   touchRingDefault,
 	}
 	for _, o := range opts {
 		if err := o.apply(&s); err != nil {
@@ -92,6 +96,9 @@ func newSettings(opts []Option) (settings, error) {
 	}
 	if s.hysteresis < 0 || s.hysteresis != s.hysteresis {
 		return settings{}, fmt.Errorf("cpacache: rebalance hysteresis must be a fraction >= 0, got %v", s.hysteresis)
+	}
+	if s.touchBuffer <= 0 || s.touchBuffer&(s.touchBuffer-1) != 0 {
+		return settings{}, fmt.Errorf("cpacache: touch buffer must be a positive power of two, got %d", s.touchBuffer)
 	}
 	return s, nil
 }
@@ -132,10 +139,13 @@ func WithPartitions(tenants int) Option {
 }
 
 // WithProfileSampling profiles one in every n sets per shard for the
-// Rebalance miss curves (default 8). Larger n is cheaper and noisier;
+// Rebalance miss curves (default 16). Larger n is cheaper and noisier;
 // n = 1 profiles every set. Membership is precomputed into a per-shard
 // bitmap, so accesses to the other n-1 of every n sets skip the profiler
-// with a single inlined bit test.
+// with a single inlined bit test. Profiled sets always take the locked
+// lookup path (the UMON stacks need mutual exclusion), which is why the
+// default halved when lookups went optimistic: 1-in-16 keeps the
+// profiler's share of lookup cost where 1-in-8 sat on the locked plane.
 func WithProfileSampling(n int) Option {
 	return optionFunc(func(s *settings) error { s.sampleEvery = n; return nil })
 }
@@ -174,12 +184,13 @@ func WithDefaultTTL(d time.Duration) Option {
 	return optionFunc(func(s *settings) error { s.defaultTTL = d; return nil })
 }
 
-// WithTTLSweep sets how often the background sweeper scans for expired
+// WithTTLSweep sets how often the background sweeper reclaims expired
 // entries (default 100ms; 0 disables sweeping, leaving reclamation to the
-// lazy lookup path). Each tick sweeps an incremental chunk of every
-// shard's sets, so a full pass is spread over several ticks and no tick
-// holds a shard lock for long. The sweeper starts when TTLs are first
-// used and stops at Close.
+// lazy lookup path). Each tick advances every shard's hierarchical
+// timing wheel, visiting only the entries that are actually due rather
+// than scanning sets; a shard whose lock is contended is skipped for
+// that tick (see SweepEvent.Skipped). The sweeper starts when TTLs are
+// first used and stops at Close.
 func WithTTLSweep(interval time.Duration) Option {
 	return optionFunc(func(s *settings) error { s.sweepInterval = interval; return nil })
 }
@@ -243,4 +254,28 @@ func WithRebalanceHysteresis(minGain float64, minSamples uint64) Option {
 // available from Stats and Snapshot regardless of any sink.
 func WithMetricsSink(sink MetricsSink) Option {
 	return optionFunc(func(s *settings) error { s.sink = sink; return nil })
+}
+
+// WithImmediateRecency restores the fully locked data plane: every
+// lookup takes its shard mutex and applies the replacement policy's
+// Touch before returning, instead of the default optimistic path
+// (lock-free reads for pointer-free types, recency deferred through the
+// per-shard touch ring until the next writer drains it). Use it when
+// exact, reproducible eviction order matters more than read scalability
+// — differential tests, trace replay, simulation. Single-threaded
+// workloads whose touch ring never overflows behave identically either
+// way; concurrent ones may observe slightly different eviction choices
+// under the default, never different key→value contents.
+func WithImmediateRecency() Option {
+	return optionFunc(func(s *settings) error { s.immediate = true; return nil })
+}
+
+// WithTouchBuffer sets the per-shard deferred-recency ring capacity in
+// records (a positive power of two; default 256). More than n lookup
+// hits between two writer drains overwrite the oldest records — pseudo-
+// LRU replacement tolerates such sampled recency, but a larger buffer
+// keeps more of it under read-mostly bursts. Ignored (no ring exists)
+// under WithImmediateRecency.
+func WithTouchBuffer(n int) Option {
+	return optionFunc(func(s *settings) error { s.touchBuffer = n; return nil })
 }

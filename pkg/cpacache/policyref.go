@@ -1,0 +1,115 @@
+package cpacache
+
+import "repro/pkg/plru"
+
+// policyRef devirtualizes the per-access replacement-policy calls. The
+// shard's policy used to be a plru.Policy interface value, which put an
+// itab-indirect call on every Touch and Victim — the two calls on the
+// data-plane hot loop. policyRef instead holds the concrete policy
+// pointer for its kind and dispatches through a switch, so each call site
+// compiles to a direct (and for the small BT/NRU/LRU bodies, inlinable)
+// call. The kind is fixed at construction, so the switch predicts
+// perfectly.
+type policyRef struct {
+	kind plru.Kind
+	lru  *plru.LRUPolicy
+	nru  *plru.NRUPolicy
+	bt   *plru.BTPolicy
+	rnd  *plru.RandomPolicy
+}
+
+// newPolicyRef builds the concrete policy for kind, mirroring plru.New.
+func newPolicyRef(kind plru.Kind, sets, ways, cores int, seed uint64) policyRef {
+	p := policyRef{kind: kind}
+	switch kind {
+	case plru.LRU:
+		p.lru = plru.NewLRUPolicy(sets, ways)
+	case plru.NRU:
+		p.nru = plru.NewNRUPolicy(sets, ways, cores)
+	case plru.BT:
+		p.bt = plru.NewBTPolicy(sets, ways)
+	default:
+		p.rnd = plru.NewRandomPolicy(sets, ways, seed)
+	}
+	return p
+}
+
+// iface returns the policy as the plru.Policy interface, for the rare
+// paths (tests, introspection) where the indirect call does not matter.
+func (p *policyRef) iface() plru.Policy {
+	switch p.kind {
+	case plru.LRU:
+		return p.lru
+	case plru.NRU:
+		return p.nru
+	case plru.BT:
+		return p.bt
+	default:
+		return p.rnd
+	}
+}
+
+func (p *policyRef) touch(set, way, core int) {
+	switch p.kind {
+	case plru.LRU:
+		p.lru.Touch(set, way, core)
+	case plru.NRU:
+		p.nru.Touch(set, way, core)
+	case plru.BT:
+		p.bt.Touch(set, way, core)
+	default:
+		p.rnd.Touch(set, way, core)
+	}
+}
+
+func (p *policyRef) touchBatch(recs []plru.TouchRec) {
+	switch p.kind {
+	case plru.LRU:
+		p.lru.TouchBatch(recs)
+	case plru.NRU:
+		p.nru.TouchBatch(recs)
+	case plru.BT:
+		p.bt.TouchBatch(recs)
+	default:
+		p.rnd.TouchBatch(recs)
+	}
+}
+
+func (p *policyRef) victim(set, core int, allowed plru.WayMask) int {
+	switch p.kind {
+	case plru.LRU:
+		return p.lru.Victim(set, core, allowed)
+	case plru.NRU:
+		return p.nru.Victim(set, core, allowed)
+	case plru.BT:
+		return p.bt.Victim(set, core, allowed)
+	default:
+		return p.rnd.Victim(set, core, allowed)
+	}
+}
+
+func (p *policyRef) invalidate(set, way int) {
+	switch p.kind {
+	case plru.LRU:
+		p.lru.Invalidate(set, way)
+	case plru.NRU:
+		p.nru.Invalidate(set, way)
+	case plru.BT:
+		p.bt.Invalidate(set, way)
+	default:
+		p.rnd.Invalidate(set, way)
+	}
+}
+
+func (p *policyRef) setPartition(masks []plru.WayMask) {
+	switch p.kind {
+	case plru.LRU:
+		p.lru.SetPartition(masks)
+	case plru.NRU:
+		p.nru.SetPartition(masks)
+	case plru.BT:
+		p.bt.SetPartition(masks)
+	default:
+		p.rnd.SetPartition(masks)
+	}
+}

@@ -322,7 +322,7 @@ func TestLazyArmRefreshesClock(t *testing.T) {
 	c.SetTenantTTL(0, "k", 1, time.Hour) // first TTL use arms the clock
 	sh, set, tag := c.locate("k")
 	sh.mu.Lock()
-	w := c.findLocked(sh, set*c.ways, set*c.tagWords, tag, "k")
+	w := c.findLocked(sh, set*c.ways, c.tagBase(set), tag, "k")
 	if w < 0 {
 		sh.mu.Unlock()
 		t.Fatal("entry not resident")

@@ -1,0 +1,233 @@
+package cpacache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/pkg/plru"
+)
+
+// TestWheelExpiresExactlyTheLapsed is the timing-wheel exactness suite:
+// a reference map of key → deadline is maintained alongside the cache,
+// the fake clock advances in patterns that exercise every wheel path —
+// sub-tick due parking, the tick-by-tick level-0 walk, level-1/2
+// cascades, the overflow list, and the far-jump rescan — and after every
+// sweep tick the cache must have reclaimed exactly the entries whose
+// deadlines lapsed: no survivor past its deadline, no early reclaim, no
+// OnEvict misclassification, every OnExpire exactly once.
+func TestWheelExpiresExactlyTheLapsed(t *testing.T) {
+	clk := newFakeClock()
+	expired := map[string]int{}
+	var evicted int
+	// One 64-way set: at most 48 distinct keys are ever resident, so no
+	// insert can evict and every reclaim must be an expiration — that
+	// keeps the "no early reclaim" assertion sound for any hash seed.
+	c, err := New[string, int](
+		WithShards(1), WithSets(1), WithWays(64), WithPolicy(plru.LRU),
+		WithNow(clk.Load), WithTTLSweep(0), // ticks driven by hand
+		WithOnExpire(func(k string, v int) { expired[k]++ }),
+		WithOnEvict(func(string, int) { evicted++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	deadlines := map[string]int64{} // 0 = pinned
+	rng := uint64(31337)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	// TTL menu spanning every wheel level: sub-tick, level 0 (< 64ms),
+	// level 1 (< 4.096s), level 2 (< 262s), overflow (beyond).
+	ttls := []time.Duration{
+		500 * time.Nanosecond,
+		3 * time.Millisecond,
+		40 * time.Millisecond,
+		800 * time.Millisecond,
+		3 * time.Second,
+		90 * time.Second,
+		10 * time.Minute,
+		0, // pinned
+	}
+	// Clock moves: sub-tick nudges, single ticks, a few dozen ticks
+	// (cascade boundaries), and far jumps (> 4096 ticks → rescan).
+	jumps := []time.Duration{
+		200 * time.Nanosecond,
+		time.Millisecond,
+		70 * time.Millisecond,
+		time.Second,
+		8 * time.Second,
+		2 * time.Minute,
+	}
+	var exK []string
+	var exV []int
+	check := func(step int) {
+		t.Helper()
+		now := clk.Load()
+		for k, d := range deadlines {
+			_, ok := c.Get(k)
+			switch {
+			case d != 0 && d <= now:
+				if ok {
+					t.Fatalf("step %d: %q readable %dns past its deadline", step, k, now-d)
+				}
+				delete(deadlines, k)
+			default:
+				if !ok {
+					t.Fatalf("step %d: %q (deadline %d, now %d) reclaimed early", step, k, d, now)
+				}
+			}
+		}
+	}
+	const keys = 48 // well under the 64-way set: no evictions ever
+	for step := 0; step < 4_000; step++ {
+		switch next() % 4 {
+		case 0, 1: // (re)insert with a TTL from the menu
+			k := fmt.Sprintf("k%d", next()%keys)
+			ttl := ttls[next()%uint64(len(ttls))]
+			c.SetTenantTTL(0, k, 1, ttl)
+			if ttl == 0 {
+				deadlines[k] = 0
+			} else {
+				deadlines[k] = clk.Load() + int64(ttl)
+			}
+		case 2: // time passes
+			clk.advance(jumps[next()%uint64(len(jumps))])
+		default: // sweeper tick
+			exK, exV = c.sweepOnce(exK, exV)
+			check(step)
+		}
+	}
+	// Drain everything: jump past the farthest deadline and sweep.
+	clk.advance(time.Hour)
+	exK, exV = c.sweepOnce(exK, exV)
+	check(-1)
+	_ = exV
+	if evicted != 0 {
+		t.Fatalf("%d reclaims were misclassified as evictions", evicted)
+	}
+	for k, n := range expired {
+		if n < 1 {
+			t.Fatalf("%q expired %d times", k, n)
+		}
+	}
+	// Only pinned entries remain; everything else went through OnExpire.
+	left := c.Len()
+	pinned := 0
+	for _, d := range deadlines {
+		if d == 0 {
+			pinned++
+		}
+	}
+	if left != pinned {
+		t.Fatalf("Len = %d after the final sweep, want %d pinned survivors", left, pinned)
+	}
+}
+
+// TestWheelSweeperNeedsNoTraffic pins the background-reclaim guarantee
+// the wheel inherits from the old cursor sweeper: entries nobody ever
+// touches again are still reclaimed, and SweepExpired counts them.
+// (TestSweeperReclaimsIdleEntries covers the real-clock goroutine; this
+// is the deterministic fake-clock twin, including a TTL beyond the
+// wheel's level-2 horizon so the overflow path is proven too.)
+func TestWheelSweeperNeedsNoTraffic(t *testing.T) {
+	clk := newFakeClock()
+	var expired []string
+	c, err := New[string, int](
+		WithShards(1), WithSets(4), WithWays(4),
+		WithNow(clk.Load), WithTTLSweep(0),
+		WithOnExpire(func(k string, v int) { expired = append(expired, k) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTenantTTL(0, "soon", 1, 5*time.Millisecond)
+	c.SetTenantTTL(0, "later", 2, 30*time.Second)
+	c.SetTenantTTL(0, "beyondHorizon", 3, 10*time.Minute) // overflow list
+	c.SetTenantTTL(0, "never", 4, 0)
+
+	advance := func(d time.Duration, wantLen int) {
+		t.Helper()
+		clk.advance(d)
+		_, _ = c.sweepOnce(nil, nil)
+		if got := c.Len(); got != wantLen {
+			t.Fatalf("after +%v: Len = %d, want %d (expired %v)", d, got, wantLen, expired)
+		}
+	}
+	advance(2*time.Millisecond, 4)  // nothing due yet
+	advance(10*time.Millisecond, 3) // "soon" lapses (level-0 ticks)
+	advance(time.Minute, 2)         // "later" lapses (far jump → rescan)
+	advance(20*time.Minute, 1)      // "beyondHorizon" lapses from overflow
+	if want := []string{"soon", "later", "beyondHorizon"}; fmt.Sprint(expired) != fmt.Sprint(want) {
+		t.Fatalf("expired order %v, want %v", expired, want)
+	}
+	if snap := c.Snapshot(); snap.SweepExpired != 3 {
+		t.Fatalf("SweepExpired = %d, want 3", snap.SweepExpired)
+	}
+}
+
+// TestWheelRearmMovesBuckets pins the intrusive-list bookkeeping: SetTTL
+// re-arms move a slot between wheel buckets (never duplicating it),
+// deletes unlink it, and a re-armed entry expires at its newest deadline
+// only.
+func TestWheelRearmMovesBuckets(t *testing.T) {
+	clk := newFakeClock()
+	var expired []string
+	c, err := New[string, int](
+		WithShards(1), WithSets(2), WithWays(4),
+		WithNow(clk.Load), WithTTLSweep(0),
+		WithOnExpire(func(k string, v int) { expired = append(expired, k) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.SetTenantTTL(0, "moved", 1, 10*time.Millisecond)
+	if !c.SetTTL("moved", time.Minute) { // re-arm far later: moves buckets
+		t.Fatal("SetTTL on live entry failed")
+	}
+	clk.advance(time.Second) // past the ORIGINAL deadline
+	_, _ = c.sweepOnce(nil, nil)
+	if len(expired) != 0 {
+		t.Fatalf("re-armed entry expired at its old deadline: %v", expired)
+	}
+	if _, ok := c.Get("moved"); !ok {
+		t.Fatal("re-armed entry unreadable before its new deadline")
+	}
+	clk.advance(2 * time.Minute)
+	_, _ = c.sweepOnce(nil, nil)
+	if fmt.Sprint(expired) != "[moved]" {
+		t.Fatalf("expired %v, want [moved]", expired)
+	}
+
+	// Deleting a deadline-carrying entry unlinks it: a sweep after the
+	// deadline must not double-reclaim or panic on a stale link.
+	expired = expired[:0]
+	c.SetTenantTTL(0, "gone", 2, 5*time.Millisecond)
+	if !c.Delete("gone") {
+		t.Fatal("Delete failed")
+	}
+	clk.advance(time.Second)
+	_, _ = c.sweepOnce(nil, nil)
+	if len(expired) != 0 {
+		t.Fatalf("deleted entry reappeared through the wheel: %v", expired)
+	}
+
+	// Removing a TTL (SetTTL 0) unlinks too.
+	c.SetTenantTTL(0, "pinnedLater", 3, 5*time.Millisecond)
+	if !c.SetTTL("pinnedLater", 0) {
+		t.Fatal("SetTTL(0) failed")
+	}
+	clk.advance(time.Hour)
+	_, _ = c.sweepOnce(nil, nil)
+	if _, ok := c.Get("pinnedLater"); !ok {
+		t.Fatal("unpinned... pinned entry was reclaimed after its TTL was removed")
+	}
+}

@@ -1,6 +1,9 @@
 package plru
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // BTPolicy implements Binary Tree pseudo-LRU (paper §III-B, the IBM
 // scheme): each set carries ways-1 tree bits arranged as a complete binary
@@ -23,6 +26,14 @@ import "math/bits"
 type BTPolicy struct {
 	sets, ways, levels int
 	tree               []uint8 // sets*(ways-1), heap-indexed per set (slot 0 unused within each set's block of `ways` entries)
+
+	// For 8-way trees the set's whole node block is exactly one 64-bit
+	// word, so Touch/Invalidate collapse to a single masked word store
+	// instead of a levels-deep loop: clearMask[way] zeroes the three
+	// path node bytes and touchMask/invMask[way] write them pointing
+	// away from (Touch) or at (Invalidate) the way. Nil for other
+	// associativities, which keep the loop.
+	clearMask, touchMask, invMask []uint64
 }
 
 // NewBTPolicy returns a BT policy. The associativity must be a power of
@@ -32,7 +43,7 @@ func NewBTPolicy(sets, ways int) *BTPolicy {
 	if ways&(ways-1) != 0 {
 		panic("plru: BT requires power-of-two associativity")
 	}
-	return &BTPolicy{
+	p := &BTPolicy{
 		sets:   sets,
 		ways:   ways,
 		levels: bits.Len(uint(ways)) - 1,
@@ -40,6 +51,22 @@ func NewBTPolicy(sets, ways int) *BTPolicy {
 		// directly; slot 0 of each block is unused.
 		tree: make([]uint8, sets*ways),
 	}
+	if ways == 8 {
+		p.clearMask = make([]uint64, ways)
+		p.touchMask = make([]uint64, ways)
+		p.invMask = make([]uint64, ways)
+		for way := 0; way < ways; way++ {
+			i := 1
+			for d := 0; d < p.levels; d++ {
+				dir := p.dirOf(way, d)
+				p.clearMask[way] |= 0xFF << (8 * uint(i))
+				p.touchMask[way] |= uint64(1-dir) << (8 * uint(i))
+				p.invMask[way] |= uint64(dir) << (8 * uint(i))
+				i = 2*i + dir
+			}
+		}
+	}
+	return p
 }
 
 // Kind returns BT.
@@ -74,8 +101,14 @@ func (p *BTPolicy) dirOf(way, depth int) int {
 // Touch promotes (set, way): every tree bit on the path from the root to
 // the way is set to point away from it, making the way maximally recent.
 // Only log2(ways) bits change — the paper's Table I(b) "update position"
-// cost for BT.
+// cost for BT; for the 8-way tree they change in one masked word store.
 func (p *BTPolicy) Touch(set, way, core int) {
+	if p.clearMask != nil {
+		t := p.tree[set*8 : set*8+8 : set*8+8]
+		w := binary.LittleEndian.Uint64(t)
+		binary.LittleEndian.PutUint64(t, w&^p.clearMask[way]|p.touchMask[way])
+		return
+	}
 	i := 1
 	for d := 0; d < p.levels; d++ {
 		dir := p.dirOf(way, d)
@@ -84,10 +117,26 @@ func (p *BTPolicy) Touch(set, way, core int) {
 	}
 }
 
+// TouchBatch applies deferred accesses in order (see Policy.TouchBatch).
+// Each record costs the same log2(ways) bit flips as a direct Touch; the
+// batch loop keeps the call on the concrete type so the per-record work
+// inlines.
+func (p *BTPolicy) TouchBatch(recs []TouchRec) {
+	for _, r := range recs {
+		p.Touch(int(r.Set), int(r.Way), int(r.Core))
+	}
+}
+
 // Invalidate points every tree bit on the way's root path toward it —
 // the inverse of Touch — so an unmasked victim walk lands exactly on the
 // freed way. Only log2(ways) bits change.
 func (p *BTPolicy) Invalidate(set, way int) {
+	if p.clearMask != nil {
+		t := p.tree[set*8 : set*8+8 : set*8+8]
+		w := binary.LittleEndian.Uint64(t)
+		binary.LittleEndian.PutUint64(t, w&^p.clearMask[way]|p.invMask[way])
+		return
+	}
 	i := 1
 	for d := 0; d < p.levels; d++ {
 		dir := p.dirOf(way, d)

@@ -56,6 +56,13 @@ func (p *LRUPolicy) Touch(set, way, core int) {
 	p.age[base+way] = 0
 }
 
+// TouchBatch applies deferred accesses in order (see Policy.TouchBatch).
+func (p *LRUPolicy) TouchBatch(recs []TouchRec) {
+	for _, r := range recs {
+		p.Touch(int(r.Set), int(r.Way), int(r.Core))
+	}
+}
+
 // Invalidate demotes way to the LRU position of set, promoting every line
 // that was older than it by one step; the freed way becomes the unmasked
 // victim until it is touched again.

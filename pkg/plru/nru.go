@@ -101,6 +101,15 @@ func (p *NRUPolicy) Touch(set, way, core int) {
 	}
 }
 
+// TouchBatch applies deferred accesses in order (see Policy.TouchBatch).
+// The scoped reset rule runs per record with whatever partition masks are
+// installed at drain time, exactly as the equivalent Touch sequence would.
+func (p *NRUPolicy) TouchBatch(recs []TouchRec) {
+	for _, r := range recs {
+		p.Touch(int(r.Set), int(r.Way), int(r.Core))
+	}
+}
+
 // Invalidate clears the used bit of (set, way): the way reads as "not
 // recently used", so the victim scan can reclaim it immediately.
 func (p *NRUPolicy) Invalidate(set, way int) {

@@ -136,6 +136,15 @@ func (m WayMask) String() string {
 	return s + "}"
 }
 
+// TouchRec is one deferred recency record: an access to way Way of set
+// Set by core Core whose Touch was postponed by the caller (typically a
+// lock-free read path that batches recency updates — see
+// repro/pkg/cpacache's touch ring). Records are applied in slice order by
+// TouchBatch.
+type TouchRec struct {
+	Set, Way, Core int32
+}
+
 // Policy is the common behavior of a replacement policy instance covering
 // every set of one cache.
 type Policy interface {
@@ -148,6 +157,13 @@ type Policy interface {
 	// Touch records an access — hit or fill — to way `way` of set `set`
 	// by core `core`, updating the recency state.
 	Touch(set, way, core int)
+	// TouchBatch applies a batch of deferred accesses in order, exactly
+	// as the equivalent sequence of Touch calls would. It exists so
+	// callers that defer recency (pseudo-LRU state tolerates late and
+	// even dropped touches) can drain a whole buffer through one call
+	// that stays on the policy's concrete type. TouchBatch never
+	// allocates.
+	TouchBatch(recs []TouchRec)
 	// Victim selects the way to evict in `set` for `core`, restricted to
 	// the allowed mask. The mask must be non-empty; Victim panics on an
 	// empty mask because that is always a caller bug.

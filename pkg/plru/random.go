@@ -32,6 +32,9 @@ func (p *RandomPolicy) SetPartition(masks []WayMask) {}
 // Touch is a no-op: random replacement keeps no recency state.
 func (p *RandomPolicy) Touch(set, way, core int) {}
 
+// TouchBatch is a no-op: random replacement keeps no recency state.
+func (p *RandomPolicy) TouchBatch(recs []TouchRec) {}
+
 // Invalidate is a no-op: there is no recency state to clear.
 func (p *RandomPolicy) Invalidate(set, way int) {}
 
