@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate alloc-guard fmt fmt-check vet staticcheck vulncheck docs-check ci
+.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate bench-multicore bench-gate-server alloc-guard fuzz-smoke serve loadtest server-smoke fmt fmt-check vet staticcheck vulncheck docs-check ci
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,79 @@ bench-compare:
 # fail if the best-of-3 ns/op regresses more than 15% against the
 # checked-in BENCH_cpacache.json (or allocs/op grow at all). CI runs
 # this; it is a smoke gate for gross regressions, not a statistically
-# careful comparison — use bench-compare for that.
-bench-gate:
+# careful comparison — use bench-compare for that. The server req/s
+# baseline (bench-gate-server) rides along as a prerequisite so one
+# target gates both numbers.
+bench-gate: bench-gate-server
 	$(GO) test -run=NONE -bench='^BenchmarkGetHit$$|^BenchmarkParallelGetSet$$' \
 		-benchtime=1s -count=3 ./pkg/cpacache/ | tee /tmp/bench_gate.txt
 	$(GO) run ./cmd/benchjson -gate -tolerance 0.15 BENCH_cpacache.json /tmp/bench_gate.txt
+
+# Multi-core scaling lane: the parallel hot-path benchmarks at
+# GOMAXPROCS=1 vs GOMAXPROCS=NumCPU, gated on BenchmarkParallelGetHit
+# showing at least 1.3x parallel speedup. On a single-core host the
+# comparison is meaningless, so it degrades to an informational run.
+bench-multicore:
+	$(GO) test -run=NONE -bench='^BenchmarkParallelGetHit$$|^BenchmarkParallelGetSet$$' \
+		-benchtime=1s -count=3 -cpu 1 ./pkg/cpacache/ | tee /tmp/bench_cpu1.txt
+	$(GO) test -run=NONE -bench='^BenchmarkFig7Serial$$|^BenchmarkFig7Parallel$$' \
+		-benchtime=1x -count=3 -cpu 1 . | tee -a /tmp/bench_cpu1.txt
+	$(GO) test -run=NONE -bench='^BenchmarkParallelGetHit$$|^BenchmarkParallelGetSet$$' \
+		-benchtime=1s -count=3 -cpu $$(nproc) ./pkg/cpacache/ | tee /tmp/bench_cpuN.txt
+	$(GO) test -run=NONE -bench='^BenchmarkFig7Serial$$|^BenchmarkFig7Parallel$$' \
+		-benchtime=1x -count=3 -cpu $$(nproc) . | tee -a /tmp/bench_cpuN.txt
+	@if [ "$$(nproc)" -le 1 ]; then \
+		echo "single-core host: reporting scaling informationally, no gate"; \
+		$(GO) run ./cmd/benchjson -scaling -min 0 -benches '' /tmp/bench_cpu1.txt /tmp/bench_cpuN.txt; \
+	else \
+		$(GO) run ./cmd/benchjson -scaling -min 1.3 -benches BenchmarkParallelGetHit \
+			/tmp/bench_cpu1.txt /tmp/bench_cpuN.txt; \
+	fi
+
+# Server throughput gate: boot cpacached on a free port, drive it with
+# cpaload, and fail if req/s drops more than 40% below the committed
+# BENCH_cpacached.json. The tolerance is wide because the baseline and
+# the CI runner are different hosts; it catches gross regressions
+# (an accidental per-command syscall, a lost pipelining path), not drift.
+bench-gate-server:
+	$(GO) build -o /tmp/cpacached ./cmd/cpacached
+	$(GO) build -o /tmp/cpaload ./cmd/cpaload
+	/tmp/cpacached -addr 127.0.0.1:0 -policy bt 2> /tmp/cpacached_gate.log & \
+	pid=$$!; \
+	for i in $$(seq 50); do \
+		addr=$$(grep -oE 'listening on [^ ]+' /tmp/cpacached_gate.log | awk '{print $$3}'); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	if [ -z "$$addr" ]; then echo "cpacached never came up"; kill $$pid; exit 1; fi; \
+	/tmp/cpaload -addr "$$addr" -conns 4 -pipeline 32 -requests 400000 \
+		-keyspace 20000 -value-size 128 -set-ratio 0.1 -zipf 1.1 \
+		-json /tmp/cpaload_fresh.json; rc=$$?; \
+	kill -TERM $$pid; wait $$pid || rc=1; \
+	[ $$rc -eq 0 ] || exit $$rc; \
+	$(GO) run ./cmd/benchjson -gate-server -tolerance 0.40 \
+		BENCH_cpacached.json /tmp/cpaload_fresh.json
+
+# Fuzz smoke: a short bounded pass over every fuzz target. Go allows one
+# -fuzz pattern per invocation, so each target gets its own run.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz='^FuzzRESPParse$$' -fuzztime=30s ./internal/resp/
+	$(GO) test -run=NONE -fuzz='^FuzzRESPRoundTrip$$' -fuzztime=10s ./internal/resp/
+	$(GO) test -run=NONE -fuzz='^FuzzVictimInMask$$' -fuzztime=10s ./pkg/plru/
+	$(GO) test -run=NONE -fuzz='^FuzzTagCollisionFallback$$' -fuzztime=10s ./pkg/cpacache/
+	$(GO) test -run=NONE -fuzz='^FuzzTouchRing$$' -fuzztime=10s ./pkg/cpacache/
+
+# Run the cache server on the default redis port (ctrl-C drains).
+serve:
+	$(GO) run ./cmd/cpacached -addr :6379 -policy bt
+
+# Drive a running `make serve` with the default load mix.
+loadtest:
+	$(GO) run ./cmd/cpaload -addr 127.0.0.1:6379 -conns 4 -pipeline 32 \
+		-requests 400000 -keyspace 20000 -value-size 128 -set-ratio 0.1 -zipf 1.1
+
+# Server integration smoke: protocol conformance, in-process server
+# tests, and the exec-based daemon end-to-end (SIGTERM drain) under -race.
+server-smoke:
+	$(GO) test -race -count=1 ./internal/resp/ ./internal/server/ ./internal/loadgen/ ./cmd/cpacached/
 
 # The hot-path allocation guards (testing.AllocsPerRun) run without -race:
 # instrumentation skews the accounting. Alloc regressions fail here fast
@@ -83,4 +151,4 @@ vet:
 docs-check: vet
 	$(GO) run ./cmd/doccheck .
 
-ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache bench-gate docs-check
+ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache bench-gate server-smoke docs-check

@@ -22,6 +22,26 @@
 // noise only ever inflates a run, so the minimum is the honest estimate
 // of the code's cost and gating on it keeps a noisy 1-CPU runner from
 // flagging phantom regressions.
+//
+// With -scaling it gates multi-core speedup instead: two fresh bench
+// output files, the first run at GOMAXPROCS=1 and the second at
+// GOMAXPROCS=NumCPU, and the named benchmarks must show at least -min
+// parallel speedup (best-of-run single-core ns/op over best-of-run
+// multi-core ns/op):
+//
+//	go run ./cmd/benchjson -scaling -min 1.3 \
+//	        -benches BenchmarkParallelGetHit cpu1.txt cpuN.txt
+//
+// Benchmarks present in both files but not named in -benches are
+// reported informationally without gating.
+//
+// With -gate-server it gates cpacached throughput: a fresh cpaload
+// -json report against the committed BENCH_cpacached.json, failing when
+// fresh req/s drops more than -tolerance below the baseline (direction
+// flipped from ns/op: requests per second is better when bigger):
+//
+//	go run ./cmd/benchjson -gate-server -tolerance 0.25 \
+//	        BENCH_cpacached.json fresh_load.json
 package main
 
 import (
@@ -49,8 +69,11 @@ type benchFile struct {
 
 func main() {
 	gate := flag.Bool("gate", false, "compare a fresh `go test -bench` output file against the JSON baseline and fail on regression")
-	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression in -gate mode")
-	benches := flag.String("benches", "BenchmarkGetHit,BenchmarkParallelGetSet", "comma-separated benchmarks the -gate mode checks (others are informational)")
+	scaling := flag.Bool("scaling", false, "compare GOMAXPROCS=1 vs GOMAXPROCS=N bench outputs and fail when named benchmarks miss the -min speedup")
+	gateServer := flag.Bool("gate-server", false, "compare a fresh cpaload -json report against the baseline JSON and fail when req/s regresses")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression in -gate / -gate-server mode")
+	minSpeedup := flag.Float64("min", 1.3, "minimum parallel speedup the -scaling mode requires")
+	benches := flag.String("benches", "BenchmarkGetHit,BenchmarkParallelGetSet", "comma-separated benchmarks the -gate / -scaling modes check (others are informational)")
 	flag.Parse()
 	if *gate {
 		if flag.NArg() != 2 {
@@ -58,6 +81,20 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runGate(flag.Arg(0), flag.Arg(1), *tolerance, strings.Split(*benches, ",")))
+	}
+	if *scaling {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -scaling [-min 1.3] [-benches B1,B2] cpu1_bench.txt cpuN_bench.txt")
+			os.Exit(2)
+		}
+		os.Exit(runScaling(flag.Arg(0), flag.Arg(1), *minSpeedup, strings.Split(*benches, ",")))
+	}
+	if *gateServer {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -gate-server [-tolerance 0.25] BENCH_cpacached.json fresh_load.json")
+			os.Exit(2)
+		}
+		os.Exit(runServerGate(flag.Arg(0), flag.Arg(1), *tolerance))
 	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchjson BENCH_file.json [more.json...]")
@@ -154,6 +191,120 @@ func runGate(baselinePath, freshPath string, tolerance float64, gated []string) 
 		return 1
 	}
 	return 0
+}
+
+// runScaling implements -scaling: single-core vs multi-core bench
+// outputs, gating the named benchmarks on base_ns/fast_ns >= minSpeedup.
+// Returns the process exit code.
+func runScaling(cpu1Path, cpuNPath string, minSpeedup float64, gated []string) int {
+	serial, err := parseBench(cpu1Path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	parallel, err := parseBench(cpuNPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	required := map[string]bool{}
+	for _, name := range gated {
+		if name = strings.TrimSpace(name); name != "" {
+			required[name] = true
+		}
+	}
+	names := make([]string, 0, len(serial))
+	for name := range serial {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		p, ok := parallel[name]
+		if !ok {
+			if required[name] {
+				fmt.Fprintf(os.Stderr, "benchjson: %s missing from %s\n", name, cpuNPath)
+				failed = true
+			}
+			continue
+		}
+		speedup := serial[name].ns / p.ns
+		switch {
+		case required[name] && speedup < minSpeedup:
+			fmt.Printf("%-28s 1-core %10.2f ns/op  N-core %10.2f ns/op  speedup %5.2fx < %.2fx  FAIL\n",
+				name, serial[name].ns, p.ns, speedup, minSpeedup)
+			failed = true
+		case required[name]:
+			fmt.Printf("%-28s 1-core %10.2f ns/op  N-core %10.2f ns/op  speedup %5.2fx >= %.2fx  ok\n",
+				name, serial[name].ns, p.ns, speedup, minSpeedup)
+		default:
+			fmt.Printf("%-28s 1-core %10.2f ns/op  N-core %10.2f ns/op  speedup %5.2fx  (info)\n",
+				name, serial[name].ns, p.ns, speedup)
+		}
+		delete(required, name)
+	}
+	for name := range required {
+		if _, ok := serial[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s missing from %s\n", name, cpu1Path)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// loadReport is the cpaload -json document; only the gated number is
+// decoded.
+type loadReport struct {
+	Results map[string]float64 `json:"results"`
+}
+
+// runServerGate implements -gate-server: fresh cpaload req/s must stay
+// within tolerance of the baseline (higher is better, so only drops
+// fail). Returns the process exit code.
+func runServerGate(baselinePath, freshPath string, tolerance float64) int {
+	read := func(path string) (loadReport, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return loadReport{}, false
+		}
+		var r loadReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			return loadReport{}, false
+		}
+		return r, true
+	}
+	base, ok := read(baselinePath)
+	if !ok {
+		return 1
+	}
+	freshRep, ok := read(freshPath)
+	if !ok {
+		return 1
+	}
+	baseRPS, ok := base.Results["req_per_sec"]
+	if !ok || baseRPS <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no req_per_sec in baseline %s\n", baselinePath)
+		return 1
+	}
+	freshRPS, ok := freshRep.Results["req_per_sec"]
+	if !ok || freshRPS <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no req_per_sec in fresh report %s\n", freshPath)
+		return 1
+	}
+	floor := baseRPS * (1 - tolerance)
+	status := "ok"
+	code := 0
+	if freshRPS < floor {
+		status = "REGRESSION"
+		code = 1
+	}
+	fmt.Printf("cpacached req/s: baseline %.0f  fresh %.0f  floor %.0f  %s\n", baseRPS, freshRPS, floor, status)
+	return code
 }
 
 // parseBench extracts, per benchmark name (GOMAXPROCS suffix stripped),

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cpu1Bench = `goos: linux
+BenchmarkParallelGetHit-1   	1000000	      100.0 ns/op	       0 allocs/op
+BenchmarkParallelGetHit-1   	1000000	      110.0 ns/op	       0 allocs/op
+BenchmarkParallelGetSet-1   	1000000	      200.0 ns/op	       1 allocs/op
+BenchmarkFig7Parallel-1     	    100	   400000 ns/op
+`
+
+const cpuNBench = `goos: linux
+BenchmarkParallelGetHit-8   	4000000	       25.0 ns/op	       0 allocs/op
+BenchmarkParallelGetSet-8   	2000000	      150.0 ns/op	       1 allocs/op
+BenchmarkFig7Parallel-8     	    400	   100000 ns/op
+`
+
+func TestScalingGatePasses(t *testing.T) {
+	cpu1 := writeFile(t, "cpu1.txt", cpu1Bench)
+	cpuN := writeFile(t, "cpuN.txt", cpuNBench)
+	// ParallelGetHit: 100/25 = 4.0x, well over 1.3.
+	if code := runScaling(cpu1, cpuN, 1.3, []string{"BenchmarkParallelGetHit"}); code != 0 {
+		t.Fatalf("exit %d for a 4x speedup", code)
+	}
+}
+
+func TestScalingGateFails(t *testing.T) {
+	cpu1 := writeFile(t, "cpu1.txt", cpu1Bench)
+	cpuN := writeFile(t, "cpuN.txt", cpuNBench)
+	// ParallelGetSet: 200/150 = 1.33x; demand 2x and it must fail.
+	if code := runScaling(cpu1, cpuN, 2.0, []string{"BenchmarkParallelGetSet"}); code != 1 {
+		t.Fatalf("exit %d for a 1.33x speedup against a 2x floor", code)
+	}
+}
+
+func TestScalingGateMissingBench(t *testing.T) {
+	cpu1 := writeFile(t, "cpu1.txt", cpu1Bench)
+	cpuN := writeFile(t, "cpuN.txt", cpuNBench)
+	if code := runScaling(cpu1, cpuN, 1.3, []string{"BenchmarkNoSuch"}); code != 1 {
+		t.Fatalf("exit %d for a gated benchmark absent from both files", code)
+	}
+}
+
+func serverJSON(rps float64) string {
+	return `{"results": {"req_per_sec": ` + strconv.FormatFloat(rps, 'f', -1, 64) + `, "hit_rate": 0.8}}`
+}
+
+func TestServerGate(t *testing.T) {
+	base := writeFile(t, "base.json", serverJSON(100000))
+	for _, tc := range []struct {
+		name  string
+		fresh float64
+		tol   float64
+		want  int
+	}{
+		{"equal throughput passes", 100000, 0.25, 0},
+		{"small dip within tolerance passes", 80000, 0.25, 0},
+		{"speedup passes", 150000, 0.25, 0},
+		{"big drop fails", 60000, 0.25, 1},
+	} {
+		fresh := writeFile(t, "fresh.json", serverJSON(tc.fresh))
+		if code := runServerGate(base, fresh, tc.tol); code != tc.want {
+			t.Errorf("%s: exit %d, want %d", tc.name, code, tc.want)
+		}
+	}
+}
+
+func TestServerGateRejectsMalformed(t *testing.T) {
+	base := writeFile(t, "base.json", serverJSON(100000))
+	empty := writeFile(t, "empty.json", `{"results": {}}`)
+	if code := runServerGate(base, empty, 0.25); code != 1 {
+		t.Fatal("missing req_per_sec accepted")
+	}
+	if code := runServerGate(empty, base, 0.25); code != 1 {
+		t.Fatal("baseline without req_per_sec accepted")
+	}
+	garbage := writeFile(t, "garbage.json", `not json`)
+	if code := runServerGate(base, garbage, 0.25); code != 1 {
+		t.Fatal("malformed fresh report accepted")
+	}
+}
+
+func TestParseBenchBestOfRun(t *testing.T) {
+	path := writeFile(t, "bench.txt", cpu1Bench)
+	best, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := best["BenchmarkParallelGetHit"]
+	if !ok || got.ns != 100.0 {
+		t.Fatalf("best ns for ParallelGetHit = %+v (want min of 100 and 110)", got)
+	}
+}

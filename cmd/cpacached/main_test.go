@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/resp"
+)
+
+var listenRe = regexp.MustCompile(`cpacached listening on (\S+)`)
+
+// startDaemon builds the cpacached binary, boots it on a random port,
+// and returns the address it listens on plus a handle for signaling.
+// The returned log func reports everything the daemon wrote.
+func startDaemon(t *testing.T, args ...string) (addr string, proc *exec.Cmd, logDone <-chan struct{}, logged func() string) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cpacached")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cpacached: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	var mu sync.Mutex
+	var lines []string
+	addrCh := make(chan string, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			mu.Lock()
+			lines = append(lines, sc.Text())
+			mu.Unlock()
+			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cpacached never logged its listen address")
+	}
+	return addr, cmd, done, func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return strings.Join(lines, "\n")
+	}
+}
+
+// TestDaemonEndToEnd is the server integration smoke: boot the real
+// binary, hit it with raw pipelined RESP and a loadgen run, then
+// SIGTERM and require a clean drain (exit 0, drain logged, in-flight
+// replies delivered).
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon")
+	}
+	addr, cmd, logDone, logged := startDaemon(t,
+		"-shards", "4", "-sets", "256", "-ways", "8", "-policy", "bt",
+		"-tenant", "smoke:hunter2:8",
+	)
+
+	// Raw pipelined fixture: AUTH + a burst in one write, replies in order.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fixture := "*2\r\n$4\r\nAUTH\r\n$7\r\nhunter2\r\n" +
+		"*3\r\n$3\r\nSET\r\n$3\r\nfoo\r\n$3\r\nbar\r\n" +
+		"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n" +
+		"*5\r\n$4\r\nMSET\r\n$1\r\na\r\n$1\r\n1\r\n$1\r\nb\r\n$2\r\n22\r\n" +
+		"*4\r\n$4\r\nMGET\r\n$1\r\na\r\n$1\r\nb\r\n$4\r\nnope\r\n" +
+		"PING\r\n"
+	if _, err := conn.Write([]byte(fixture)); err != nil {
+		t.Fatal(err)
+	}
+	r := resp.NewReader(conn)
+	wantKinds := []struct {
+		desc string
+		chk  func(resp.Reply) bool
+	}{
+		{"AUTH ok", func(p resp.Reply) bool { return string(p.Str) == "OK" }},
+		{"SET ok", func(p resp.Reply) bool { return string(p.Str) == "OK" }},
+		{"GET bar", func(p resp.Reply) bool { return string(p.Str) == "bar" }},
+		{"MSET ok", func(p resp.Reply) bool { return string(p.Str) == "OK" }},
+		{"MGET triple", func(p resp.Reply) bool {
+			return p.Kind == resp.KindArray && len(p.Array) == 3 &&
+				string(p.Array[0].Str) == "1" && string(p.Array[1].Str) == "22" && p.Array[2].Null
+		}},
+		{"PING", func(p resp.Reply) bool { return string(p.Str) == "PONG" }},
+	}
+	for _, want := range wantKinds {
+		rep, err := r.ReadReply()
+		if err != nil {
+			t.Fatalf("%s: %v", want.desc, err)
+		}
+		if !want.chk(rep) {
+			t.Fatalf("%s: unexpected reply %+v", want.desc, rep)
+		}
+	}
+
+	// Drive it with the load engine (the cpaload code path).
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:     addr,
+		Conns:    2,
+		Pipeline: 8,
+		Requests: 4_000,
+		KeySpace: 500,
+		SetRatio: 0.3,
+		Auth:     "hunter2",
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.Requests < 4_000 || res.ErrReplys > 0 {
+		t.Fatalf("loadgen run incomplete: %+v", res)
+	}
+	if res.Hits == 0 {
+		t.Fatalf("no cache hits over a 500-key space: %+v", res)
+	}
+
+	// Park one more pipelined burst, then SIGTERM mid-session: the
+	// daemon must answer what it received and exit 0.
+	burst := strings.Repeat("PING\r\n", 32)
+	if _, err := conn.Write([]byte(burst)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if rep, err := r.ReadReply(); err != nil || string(rep.Str) != "PONG" {
+			t.Fatalf("pre-drain reply %d: %+v %v", i, rep, err)
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the stderr scanner to EOF before Wait: Wait closes the pipe,
+	// which can drop the final drain log lines mid-read.
+	select {
+	case <-logDone:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("cpacached stderr never closed after SIGTERM:\n%s", logged())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("cpacached exited dirty after SIGTERM: %v\n%s", err, logged())
+	}
+	if !strings.Contains(logged(), "cpacached drained") {
+		t.Fatalf("drain never logged:\n%s", logged())
+	}
+	// The woken connection must now read EOF, not hang.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("connection still open after daemon drained")
+	}
+}
+
+// TestDaemonFlagValidation checks bad configs exit non-zero with a
+// diagnostic rather than serving.
+func TestDaemonFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "cpacached")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cpacached: %v\n%s", err, out)
+	}
+	for _, args := range [][]string{
+		{"-policy", "fifo"},
+		{"-tenant", "nocolon"},
+		{"-tenant", "a:x", "-tenant", "b:"},
+		{"-tenant", "a:x:4", "-tenant", "b:y"},
+	} {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("args %v accepted; output:\n%s", args, out)
+		}
+		var exit *exec.ExitError
+		if !errors.As(err, &exit) {
+			t.Fatalf("args %v: unexpected error type %v", args, err)
+		}
+	}
+	_ = os.Remove(bin)
+}

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistPercentiles(t *testing.T) {
+	var h hist
+	// 90 fast requests around 1µs, 10 slow around 1ms.
+	h.add(1*time.Microsecond, 90)
+	h.add(1*time.Millisecond, 10)
+	if h.count != 100 {
+		t.Fatalf("count = %d", h.count)
+	}
+	if p := h.percentile(0.50); p > 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs bucket", p)
+	}
+	if p := h.percentile(0.99); p < 512*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~1ms bucket", p)
+	}
+	if h.max != time.Millisecond {
+		t.Fatalf("max = %v", h.max)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b hist
+	a.add(10*time.Microsecond, 5)
+	b.add(10*time.Second, 5)
+	a.merge(&b)
+	if a.count != 10 || a.max != 10*time.Second {
+		t.Fatalf("merged: count=%d max=%v", a.count, a.max)
+	}
+	if p := a.percentile(1.0); p < 8*time.Second {
+		t.Fatalf("p100 after merge = %v", p)
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h hist
+	if h.percentile(0.99) != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	h.add(0, 1) // sub-ns latencies clamp to the first bucket
+	if h.percentile(0.5) == 0 {
+		t.Fatal("clamped sample lost")
+	}
+	h.add(200*time.Hour, 1) // beyond the last bucket still lands somewhere
+	if got := h.percentile(1.0); got == 0 {
+		t.Fatalf("overflow sample lost: %v", got)
+	}
+}

@@ -1,0 +1,309 @@
+// Package loadgen is cpaload's engine: a memtier-style RESP load
+// driver. It opens N connections, each running pipelined batches of
+// GET/SET against a configurable key space (uniform or zipf-skewed),
+// and reports throughput plus latency percentiles from a log-scale
+// histogram. The engine is a library so integration tests can drive a
+// server in-process with the exact code path the CLI uses.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resp"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	Addr     string        // server address (host:port)
+	Conns    int           // concurrent connections (default 4)
+	Pipeline int           // commands per batch (default 16)
+	Requests int           // total requests across all connections (default 100k)
+	Duration time.Duration // optional wall-clock cap (0 = run to Requests)
+
+	KeySpace  int     // distinct keys (default 10k)
+	ValueSize int     // value bytes (default 128)
+	SetRatio  float64 // fraction of SETs, 0..1 (default 0.1)
+	ZipfS     float64 // zipf skew; <=1 means uniform (default 0 = uniform)
+	TTL       time.Duration
+	Auth      string // AUTH password sent on connect ("" = none)
+	Seed      int64  // base RNG seed (default 1); conn i uses Seed+i
+}
+
+func (c *Config) withDefaults() {
+	if c.Conns == 0 {
+		c.Conns = 4
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 16
+	}
+	if c.Requests == 0 {
+		c.Requests = 100_000
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 10_000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 128
+	}
+	if c.SetRatio == 0 {
+		c.SetRatio = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is the aggregate outcome of a load run.
+type Result struct {
+	Requests  int           `json:"requests"`
+	Gets      int           `json:"gets"`
+	Sets      int           `json:"sets"`
+	Hits      int           `json:"hits"`
+	Misses    int           `json:"misses"`
+	ErrReplys int           `json:"error_replies"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	ReqPerSec float64       `json:"req_per_sec"`
+	HitRate   float64       `json:"hit_rate"`
+
+	// Latency percentiles are per-request, measured as the round trip
+	// of the pipelined batch the request rode in (memtier convention).
+	P50  time.Duration `json:"p50_ns"`
+	P90  time.Duration `json:"p90_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	P999 time.Duration `json:"p999_ns"`
+	Max  time.Duration `json:"max_ns"`
+}
+
+// histBuckets is the log2 histogram size: bucket i counts latencies in
+// [2^i, 2^(i+1)) ns, so 42 buckets span past an hour.
+const histBuckets = 42
+
+type hist struct {
+	buckets [histBuckets]uint64
+	max     time.Duration
+	count   uint64
+}
+
+func (h *hist) add(d time.Duration, n uint64) {
+	if d < 1 {
+		d = 1
+	}
+	b := 0
+	for v := uint64(d); v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b] += n
+	h.count += n
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// percentile returns the upper bound of the bucket holding the q-th
+// quantile (q in (0,1]); resolution is a factor of 2, which is enough
+// to gate order-of-magnitude regressions.
+func (h *hist) percentile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			if ub := time.Duration(uint64(1) << uint(i+1)); ub < h.max {
+				return ub
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+type workerStats struct {
+	gets, sets, hits, misses, errs int
+	lat                            hist
+}
+
+// Run executes the configured load and blocks until the request target
+// is hit, the duration elapses, or ctx is canceled — whichever first.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg.withDefaults()
+	if cfg.Addr == "" {
+		return Result{}, fmt.Errorf("loadgen: no server address")
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.Requests))
+	stats := make([]workerStats, cfg.Conns)
+	errs := make([]error, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = runConn(ctx, cfg, int64(id), &remaining, &stats[id])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerStats
+	for i := range stats {
+		if errs[i] != nil {
+			return Result{}, fmt.Errorf("loadgen: conn %d: %w", i, errs[i])
+		}
+		total.gets += stats[i].gets
+		total.sets += stats[i].sets
+		total.hits += stats[i].hits
+		total.misses += stats[i].misses
+		total.errs += stats[i].errs
+		total.lat.merge(&stats[i].lat)
+	}
+	n := total.gets + total.sets
+	res := Result{
+		Requests:  n,
+		Gets:      total.gets,
+		Sets:      total.sets,
+		Hits:      total.hits,
+		Misses:    total.misses,
+		ErrReplys: total.errs,
+		Elapsed:   elapsed,
+		P50:       total.lat.percentile(0.50),
+		P90:       total.lat.percentile(0.90),
+		P99:       total.lat.percentile(0.99),
+		P999:      total.lat.percentile(0.999),
+		Max:       total.lat.max,
+	}
+	if elapsed > 0 {
+		res.ReqPerSec = float64(n) / elapsed.Seconds()
+	}
+	if total.gets > 0 {
+		res.HitRate = float64(total.hits) / float64(total.gets)
+	}
+	return res, nil
+}
+
+// runConn drives one connection: claim a batch from the shared request
+// budget, write it pipelined, read the replies, repeat.
+func runConn(ctx context.Context, cfg Config, id int64, remaining *atomic.Int64, st *workerStats) error {
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+
+	if cfg.Auth != "" {
+		w.WriteCommandString("AUTH", cfg.Auth)
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		rep, err := r.ReadReply()
+		if err != nil {
+			return err
+		}
+		if rep.IsErr() {
+			return fmt.Errorf("AUTH: %s", rep.Str)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + id))
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.KeySpace-1))
+	}
+	nextKey := func() string {
+		var k uint64
+		if zipf != nil {
+			k = zipf.Uint64()
+		} else {
+			k = uint64(rng.Intn(cfg.KeySpace))
+		}
+		return fmt.Sprintf("key:%010d", k)
+	}
+	value := make([]byte, cfg.ValueSize)
+	rng.Read(value)
+	var ttlArg []byte
+	if cfg.TTL > 0 {
+		ttlArg = []byte(fmt.Sprintf("%d", cfg.TTL.Milliseconds()))
+	}
+
+	isGet := make([]bool, cfg.Pipeline)
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		batch := int(remaining.Add(-int64(cfg.Pipeline)) + int64(cfg.Pipeline))
+		if batch <= 0 {
+			return nil
+		}
+		if batch > cfg.Pipeline {
+			batch = cfg.Pipeline
+		}
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			key := nextKey()
+			if rng.Float64() < cfg.SetRatio {
+				isGet[i] = false
+				if ttlArg != nil {
+					w.WriteCommand([]byte("SET"), []byte(key), value, []byte("PX"), ttlArg)
+				} else {
+					w.WriteCommand([]byte("SET"), []byte(key), value)
+				}
+			} else {
+				isGet[i] = true
+				w.WriteCommand([]byte("GET"), []byte(key))
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for i := 0; i < batch; i++ {
+			rep, err := r.ReadReply()
+			if err != nil {
+				return err
+			}
+			switch {
+			case rep.IsErr():
+				st.errs++
+			case isGet[i]:
+				st.gets++
+				if rep.Null {
+					st.misses++
+				} else {
+					st.hits++
+				}
+			default:
+				st.sets++
+			}
+		}
+		st.lat.add(time.Since(t0), uint64(batch))
+	}
+}

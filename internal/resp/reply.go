@@ -1,0 +1,112 @@
+package resp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Client-side reply parsing, used by the cpaload driver and the server
+// integration tests. Replies are the five RESP2 types; nested arrays
+// parse recursively.
+
+// Reply kinds.
+const (
+	KindSimple = '+'
+	KindError  = '-'
+	KindInt    = ':'
+	KindBulk   = '$'
+	KindArray  = '*'
+)
+
+// Reply is one parsed server reply.
+type Reply struct {
+	Kind  byte
+	Str   []byte  // simple string, error message, or bulk payload
+	Int   int64   // integer reply
+	Null  bool    // null bulk ($-1) or null array (*-1)
+	Array []Reply // array elements
+}
+
+// IsErr reports whether the reply is a RESP error.
+func (r Reply) IsErr() bool { return r.Kind == KindError }
+
+// ReadReply parses one reply from the stream. Unlike ReadCommand it has
+// no resynchronization: a malformed reply is a client-fatal error.
+func (r *Reader) ReadReply() (Reply, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	line, err := r.readLine()
+	if err != nil {
+		return Reply{}, err
+	}
+	switch b {
+	case KindSimple, KindError:
+		return Reply{Kind: b, Str: append([]byte(nil), line...)}, nil
+	case KindInt:
+		n, ok := parseLen(line)
+		if !ok {
+			return Reply{}, fmt.Errorf("resp: malformed integer reply %q", line)
+		}
+		return Reply{Kind: b, Int: int64(n)}, nil
+	case KindBulk:
+		n, ok := parseLen(line)
+		if !ok {
+			return Reply{}, fmt.Errorf("resp: malformed bulk header %q", line)
+		}
+		if n < 0 {
+			return Reply{Kind: b, Null: true}, nil
+		}
+		if n > r.lim.MaxBulkLen {
+			return Reply{}, fmt.Errorf("resp: bulk reply of %d bytes exceeds limit", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r.br, payload); err != nil {
+			return Reply{}, err
+		}
+		if tail, err := r.readLine(); err != nil {
+			return Reply{}, err
+		} else if len(tail) != 0 {
+			return Reply{}, fmt.Errorf("resp: bulk reply not CRLF-terminated")
+		}
+		return Reply{Kind: b, Str: payload}, nil
+	case KindArray:
+		n, ok := parseLen(line)
+		if !ok {
+			return Reply{}, fmt.Errorf("resp: malformed array header %q", line)
+		}
+		if n < 0 {
+			return Reply{Kind: b, Null: true}, nil
+		}
+		if n > r.lim.MaxArrayLen {
+			return Reply{}, fmt.Errorf("resp: array reply of %d elements exceeds limit", n)
+		}
+		elems := make([]Reply, n)
+		for i := range elems {
+			if elems[i], err = r.ReadReply(); err != nil {
+				return Reply{}, err
+			}
+		}
+		return Reply{Kind: b, Array: elems}, nil
+	default:
+		return Reply{}, fmt.Errorf("resp: unknown reply type %q", b)
+	}
+}
+
+// WriteCommand renders a command as a multibulk array — the client side
+// of ReadCommand.
+func (w *Writer) WriteCommand(args ...[]byte) {
+	w.ArrayHeader(len(args))
+	for _, a := range args {
+		w.Bulk(a)
+	}
+}
+
+// WriteCommandString is WriteCommand over string arguments.
+func (w *Writer) WriteCommandString(args ...string) {
+	w.ArrayHeader(len(args))
+	for _, a := range args {
+		w.BulkString(a)
+	}
+}

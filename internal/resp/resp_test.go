@@ -1,0 +1,275 @@
+package resp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// readAll drains every command from input, recording each result as
+// either its argument list or its error, so tests can assert on whole
+// pipelined conversations including recovery after protocol errors.
+type readResult struct {
+	args []string
+	err  error
+}
+
+func readAllCommands(t *testing.T, input string, lim Limits) []readResult {
+	t.Helper()
+	r := NewReaderLimits(strings.NewReader(input), lim)
+	var out []readResult
+	for {
+		args, err := r.ReadCommand()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			if !IsProtocol(err) {
+				if err != io.ErrUnexpectedEOF {
+					t.Fatalf("terminal non-protocol error: %v", err)
+				}
+				return out
+			}
+			out = append(out, readResult{err: err})
+			continue
+		}
+		strs := make([]string, len(args))
+		for i, a := range args {
+			strs[i] = string(a)
+		}
+		out = append(out, readResult{args: strs})
+	}
+}
+
+// TestReadCommandConformance is the table-driven wire conformance
+// suite: every case is one byte stream and the exact sequence of
+// commands and protocol errors it must parse into.
+func TestReadCommandConformance(t *testing.T) {
+	lim := Limits{MaxArrayLen: 4, MaxBulkLen: 16, MaxInlineLen: 64}
+	cases := []struct {
+		name  string
+		input string
+		want  []readResult // err non-nil means "a protocol error here"
+	}{
+		{
+			name:  "multibulk get",
+			input: "*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n",
+			want:  []readResult{{args: []string{"GET", "foo"}}},
+		},
+		{
+			name:  "multibulk with binary payload",
+			input: "*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$4\r\n\x00\r\n\xff\r\n",
+			want:  []readResult{{args: []string{"SET", "k1", "\x00\r\n\xff"}}},
+		},
+		{
+			name:  "empty bulk argument",
+			input: "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$0\r\n\r\n",
+			want:  []readResult{{args: []string{"SET", "k", ""}}},
+		},
+		{
+			name:  "inline command",
+			input: "PING\r\n",
+			want:  []readResult{{args: []string{"PING"}}},
+		},
+		{
+			name:  "inline with args and extra spaces",
+			input: "SET  k   v\r\n",
+			want:  []readResult{{args: []string{"SET", "k", "v"}}},
+		},
+		{
+			name:  "inline LF only",
+			input: "PING\n",
+			want:  []readResult{{args: []string{"PING"}}},
+		},
+		{
+			name:  "blank lines skipped",
+			input: "\r\n\r\nPING\r\n",
+			want:  []readResult{{args: []string{"PING"}}},
+		},
+		{
+			name:  "pipelined batch",
+			input: "*2\r\n$3\r\nGET\r\n$1\r\na\r\n*2\r\n$3\r\nGET\r\n$1\r\nb\r\nPING\r\n",
+			want: []readResult{
+				{args: []string{"GET", "a"}},
+				{args: []string{"GET", "b"}},
+				{args: []string{"PING"}},
+			},
+		},
+		{
+			name:  "empty array skipped",
+			input: "*0\r\nPING\r\n",
+			want:  []readResult{{args: []string{"PING"}}},
+		},
+		{
+			name:  "oversized array drains then recovers",
+			input: "*5\r\n$1\r\na\r\n$1\r\nb\r\n$1\r\nc\r\n$1\r\nd\r\n$1\r\ne\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "oversized bulk drains then recovers",
+			input: "*2\r\n$3\r\nGET\r\n$20\r\n01234567890123456789\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "negative multibulk is an error",
+			input: "*-1\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "garbage multibulk count resyncs at line",
+			input: "*xyz\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "missing bulk header resyncs at line",
+			input: "*1\r\n:5\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "negative bulk length is an error",
+			input: "*1\r\n$-1\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "payload longer than declared resyncs",
+			input: "*2\r\n$3\r\nGET\r\n$2\r\nabcdef\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "inline over the limit is an error",
+			input: strings.Repeat("y", 100) + "\r\nPING\r\n",
+			want:  []readResult{{err: errAny}, {args: []string{"PING"}}},
+		},
+		{
+			name:  "truncated frame ends the stream",
+			input: "*2\r\n$3\r\nGET\r\n$3\r\nab",
+			want:  nil, // io.ErrUnexpectedEOF, no command surfaced
+		},
+		{
+			name:  "truncated header ends the stream",
+			input: "*2\r\n$3\r\nGE",
+			want:  nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := readAllCommands(t, tc.input, lim)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d results, want %d: %+v", len(got), len(tc.want), got)
+			}
+			for i, w := range tc.want {
+				if w.err != nil {
+					if got[i].err == nil {
+						t.Fatalf("result %d: got command %v, want protocol error", i, got[i].args)
+					}
+					continue
+				}
+				if got[i].err != nil {
+					t.Fatalf("result %d: got error %v, want %v", i, got[i].err, w.args)
+				}
+				if len(got[i].args) != len(w.args) {
+					t.Fatalf("result %d: got %v, want %v", i, got[i].args, w.args)
+				}
+				for j := range w.args {
+					if got[i].args[j] != w.args[j] {
+						t.Fatalf("result %d arg %d: got %q, want %q", i, j, got[i].args[j], w.args[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// errAny marks "any protocol error" in the conformance table.
+var errAny = &ProtoError{msg: "any"}
+
+func TestOversizedInlineRecovers(t *testing.T) {
+	lim := Limits{MaxArrayLen: 4, MaxBulkLen: 16, MaxInlineLen: 64}
+	input := strings.Repeat("x", 10000) + "\r\nPING\r\n"
+	got := readAllCommands(t, input, lim)
+	// bufio's 4096 buffer forces the long-line drain path; the stream
+	// must land exactly on the PING that follows.
+	if len(got) != 2 || got[0].err == nil || got[1].err != nil || got[1].args[0] != "PING" {
+		t.Fatalf("long inline line did not resync: %+v", got)
+	}
+}
+
+func TestWriterRendersReplies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SimpleString("OK")
+	w.Error("ERR boom")
+	w.Int(-42)
+	w.Bulk([]byte("hi"))
+	w.Null()
+	w.ArrayHeader(2)
+	w.BulkString("a")
+	w.BulkString("")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR boom\r\n:-42\r\n$2\r\nhi\r\n$-1\r\n*2\r\n$1\r\na\r\n$0\r\n\r\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SimpleString("PONG")
+	w.Error("ERR nope")
+	w.Int(7)
+	w.Bulk([]byte("value"))
+	w.Null()
+	w.ArrayHeader(3)
+	w.Bulk([]byte("x"))
+	w.Null()
+	w.Int(-2)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if rep, err := r.ReadReply(); err != nil || rep.Kind != KindSimple || string(rep.Str) != "PONG" {
+		t.Fatalf("simple: %+v %v", rep, err)
+	}
+	if rep, err := r.ReadReply(); err != nil || !rep.IsErr() || string(rep.Str) != "ERR nope" {
+		t.Fatalf("error: %+v %v", rep, err)
+	}
+	if rep, err := r.ReadReply(); err != nil || rep.Kind != KindInt || rep.Int != 7 {
+		t.Fatalf("int: %+v %v", rep, err)
+	}
+	if rep, err := r.ReadReply(); err != nil || rep.Kind != KindBulk || string(rep.Str) != "value" {
+		t.Fatalf("bulk: %+v %v", rep, err)
+	}
+	if rep, err := r.ReadReply(); err != nil || !rep.Null {
+		t.Fatalf("null: %+v %v", rep, err)
+	}
+	rep, err := r.ReadReply()
+	if err != nil || rep.Kind != KindArray || len(rep.Array) != 3 {
+		t.Fatalf("array: %+v %v", rep, err)
+	}
+	if string(rep.Array[0].Str) != "x" || !rep.Array[1].Null || rep.Array[2].Int != -2 {
+		t.Fatalf("array elems: %+v", rep.Array)
+	}
+}
+
+func TestWriteCommandParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteCommandString("SET", "key", "value with spaces")
+	w.WriteCommand([]byte("GET"), []byte{0, 1, 2})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	args, err := r.ReadCommand()
+	if err != nil || len(args) != 3 || string(args[2]) != "value with spaces" {
+		t.Fatalf("first: %q %v", args, err)
+	}
+	args, err = r.ReadCommand()
+	if err != nil || len(args) != 2 || !bytes.Equal(args[1], []byte{0, 1, 2}) {
+		t.Fatalf("second: %q %v", args, err)
+	}
+}

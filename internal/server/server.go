@@ -1,0 +1,679 @@
+// Package server implements cpacached's network engine: a multi-tenant
+// RESP (redis-compatible) cache service over pkg/cpacache.
+//
+// One goroutine per connection reads commands through internal/resp,
+// executes them against a shared Cache[string, []byte], and writes
+// replies in order. Pipelining costs nothing extra: replies accumulate
+// in the connection's buffered writer and flush only when the parser
+// has no more buffered input to serve, so a burst of N commands pays
+// one syscall out instead of N. MGET and MSET funnel straight into the
+// cache's GetBatch/SetBatch, which take each shard lock once per batch.
+//
+// Tenancy rides on the cache's way partitioning: each configured tenant
+// maps to a cpacache tenant id with an optional way quota and byte
+// budget, and AUTH binds a connection to its tenant by password. With
+// no tenants configured the server is a single-tenant open cache, as a
+// stock redis instance is.
+//
+// Shutdown drains: the listener closes, every connection finishes the
+// commands it has fully read (their replies flush), blocked readers are
+// woken by a read deadline, and the cache's background machinery stops
+// via Close. Connections that ignore the drain past the context
+// deadline are force-closed.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resp"
+	"repro/pkg/cpacache"
+	"repro/pkg/plru"
+)
+
+// TenantConfig declares one tenant of the cache service.
+type TenantConfig struct {
+	// Name labels the tenant in INFO output.
+	Name string
+	// Password is the AUTH credential binding a connection to this
+	// tenant. Empty passwords are rejected by New when more than one
+	// tenant is configured (they would be unreachable).
+	Password string
+	// Ways is the tenant's initial way quota; 0 means an even share.
+	// Either every tenant sets Ways (summing to Config.Ways) or none
+	// does.
+	Ways int
+	// Budget is the tenant's byte budget (0 = unlimited), enforced as
+	// way caps at rebalance exactly as cpacache.SetBudgets documents.
+	Budget uint64
+}
+
+// Config configures a Server. The zero value of any field falls back to
+// the default noted on it.
+type Config struct {
+	Shards int // cache shards (default 8)
+	Sets   int // sets per shard (default 1024)
+	Ways   int // per-set associativity (default 16)
+	Policy plru.Kind
+
+	// Tenants declares the multi-tenant layout; empty means one
+	// anonymous tenant with no AUTH required.
+	Tenants []TenantConfig
+
+	// DefaultTTL is applied to every SET without an EX/PX option
+	// (0 = entries live until displaced).
+	DefaultTTL time.Duration
+	// AutoRebalance enables the cache's background repartitioning
+	// ticker (0 = manual only).
+	AutoRebalance time.Duration
+
+	// Limits bounds per-frame parser allocation; zero fields use
+	// resp.DefaultLimits.
+	Limits resp.Limits
+
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (listen, drain, forced closes).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() {
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Sets == 0 {
+		c.Sets = 1024
+	}
+	if c.Ways == 0 {
+		c.Ways = 16
+	}
+}
+
+// Server is one cpacached instance. Create with New, start with Serve
+// or ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *cpacache.Cache[string, []byte]
+	auth  map[string]int // password -> tenant id
+	names []string       // tenant id -> display name
+	gate  bool           // AUTH required before data commands
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg        sync.WaitGroup // one per live connection
+	startedAt time.Time
+	nCommands atomic.Uint64
+	nConns    atomic.Uint64
+}
+
+// New builds the cache and the server around it. The cache measures
+// entry cost as key length + value length, so tenant byte budgets are
+// resident-byte budgets.
+func New(cfg Config) (*Server, error) {
+	cfg.withDefaults()
+	tenants := len(cfg.Tenants)
+	if tenants == 0 {
+		tenants = 1
+	}
+	opts := []cpacache.Option{
+		cpacache.WithShards(cfg.Shards),
+		cpacache.WithSets(cfg.Sets),
+		cpacache.WithWays(cfg.Ways),
+		cpacache.WithPolicy(cfg.Policy),
+		cpacache.WithPartitions(tenants),
+		cpacache.WithCost[string, []byte](func(k string, v []byte) uint64 {
+			return uint64(len(k) + len(v))
+		}),
+	}
+	if cfg.DefaultTTL > 0 {
+		opts = append(opts, cpacache.WithDefaultTTL(cfg.DefaultTTL))
+	}
+	if cfg.AutoRebalance > 0 {
+		opts = append(opts, cpacache.WithAutoRebalance(cfg.AutoRebalance))
+	}
+	cache, err := cpacache.New[string, []byte](opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		auth:  make(map[string]int, tenants),
+		names: make([]string, tenants),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.names[0] = "default"
+	quotas := make([]int, 0, tenants)
+	budgets := make([]uint64, 0, tenants)
+	var anyQuota, anyBudget bool
+	for i, tc := range cfg.Tenants {
+		name := tc.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant%d", i)
+		}
+		s.names[i] = name
+		if tc.Password == "" {
+			if len(cfg.Tenants) > 1 {
+				cache.Close()
+				return nil, fmt.Errorf("server: tenant %q has no password; multi-tenant configs need AUTH to tell tenants apart", name)
+			}
+		} else {
+			if _, dup := s.auth[tc.Password]; dup {
+				cache.Close()
+				return nil, fmt.Errorf("server: tenant %q reuses another tenant's password", name)
+			}
+			s.auth[tc.Password] = i
+			s.gate = true
+		}
+		quotas = append(quotas, tc.Ways)
+		budgets = append(budgets, tc.Budget)
+		anyQuota = anyQuota || tc.Ways != 0
+		anyBudget = anyBudget || tc.Budget != 0
+	}
+	if anyQuota {
+		for i, q := range quotas {
+			if q == 0 {
+				cache.Close()
+				return nil, fmt.Errorf("server: tenant %q has no way quota but others do; set all or none", s.names[i])
+			}
+		}
+		if err := cache.SetQuotas(quotas); err != nil {
+			cache.Close()
+			return nil, err
+		}
+	}
+	if anyBudget {
+		if err := cache.SetBudgets(budgets); err != nil {
+			cache.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Cache exposes the underlying cache (tests and embedding callers).
+func (s *Server) Cache() *cpacache.Cache[string, []byte] { return s.cache }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener's address once Serve has been called
+// (useful with a ":0" listener), or nil before that.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil on a drain-initiated stop and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.startedAt = time.Now()
+	s.mu.Unlock()
+	s.logf("cpacached listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.nConns.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: stop accepting, let every connection
+// finish (and flush replies for) the commands it has already received,
+// wake blocked readers, stop the cache's background goroutines. When
+// ctx expires first, the stragglers are force-closed and ctx's error is
+// returned; a clean drain returns nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Wake every reader blocked in a recv: the deadline fails the next
+	// read syscall, but data already buffered keeps parsing, so a
+	// connection mid-pipeline finishes its batch before noticing.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	n := len(s.conns)
+	s.mu.Unlock()
+	s.logf("cpacached draining %d connection(s)", n)
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		forced := len(s.conns)
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		s.logf("cpacached force-closed %d connection(s)", forced)
+		<-done
+		err = ctx.Err()
+	}
+	s.cache.Close()
+	s.logf("cpacached drained")
+	return err
+}
+
+// connState is the per-connection session: its tenant binding and the
+// batch scratch MGET/MSET reuse across commands.
+type connState struct {
+	tenant int
+	authed bool
+	quit   bool
+
+	keys []string
+	vals [][]byte
+	oks  []bool
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	r := resp.NewReaderLimits(conn, s.cfg.Limits)
+	w := resp.NewWriter(conn)
+	st := &connState{authed: !s.gate}
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			if resp.IsProtocol(err) {
+				// Malformed frame: the parser resynchronized, the
+				// session continues — one error reply per bad frame.
+				w.Error(err.Error())
+				if r.Buffered() == 0 && w.Flush() != nil {
+					return
+				}
+				continue
+			}
+			// EOF, client reset, or the drain deadline: flush whatever
+			// replies are pending and close.
+			w.Flush()
+			return
+		}
+		s.nCommands.Add(1)
+		s.dispatch(st, w, args)
+		// Flush-on-idle: within a pipelined burst the replies stay
+		// buffered; the last command of the burst pays the one write.
+		if r.Buffered() == 0 {
+			if w.Flush() != nil {
+				return
+			}
+		}
+		if st.quit {
+			return
+		}
+	}
+}
+
+// commandName uppercases args[0] in place (command words are ASCII) and
+// returns it as a string. The in-place mutation is safe: the parser
+// allocated the slice for this command alone.
+func commandName(arg []byte) string {
+	for i, c := range arg {
+		if 'a' <= c && c <= 'z' {
+			arg[i] = c - 'a' + 'A'
+		}
+	}
+	return string(arg)
+}
+
+func (s *Server) dispatch(st *connState, w *resp.Writer, args [][]byte) {
+	cmd := commandName(args[0])
+	switch cmd {
+	case "PING":
+		if len(args) > 1 {
+			w.Bulk(args[1])
+		} else {
+			w.SimpleString("PONG")
+		}
+		return
+	case "QUIT":
+		w.SimpleString("OK")
+		st.quit = true
+		return
+	case "COMMAND":
+		// redis-cli probes COMMAND DOCS on connect; an empty array
+		// satisfies it without implementing introspection.
+		w.ArrayHeader(0)
+		return
+	case "AUTH":
+		s.cmdAuth(st, w, args)
+		return
+	}
+	if !st.authed {
+		w.Error("NOAUTH Authentication required.")
+		return
+	}
+	switch cmd {
+	case "GET":
+		s.cmdGet(st, w, args)
+	case "SET":
+		s.cmdSet(st, w, args)
+	case "MGET":
+		s.cmdMGet(st, w, args)
+	case "MSET":
+		s.cmdMSet(st, w, args)
+	case "DEL":
+		s.cmdDel(w, args)
+	case "EXISTS":
+		s.cmdExists(w, args)
+	case "TTL":
+		s.cmdTTL(w, args, time.Second)
+	case "PTTL":
+		s.cmdTTL(w, args, time.Millisecond)
+	case "INFO":
+		w.BulkString(s.infoText())
+	default:
+		w.Error(fmt.Sprintf("ERR unknown command '%s'", cmd))
+	}
+}
+
+func wrongArity(w *resp.Writer, cmd string) {
+	w.Error(fmt.Sprintf("ERR wrong number of arguments for '%s' command", cmd))
+}
+
+func (s *Server) cmdAuth(st *connState, w *resp.Writer, args [][]byte) {
+	if len(args) != 2 {
+		wrongArity(w, "auth")
+		return
+	}
+	if !s.gate {
+		w.Error("ERR Client sent AUTH, but no password is set")
+		return
+	}
+	tenant, ok := s.auth[string(args[1])]
+	if !ok {
+		w.Error("WRONGPASS invalid password")
+		return
+	}
+	st.tenant = tenant
+	st.authed = true
+	w.SimpleString("OK")
+}
+
+func (s *Server) cmdGet(st *connState, w *resp.Writer, args [][]byte) {
+	if len(args) != 2 {
+		wrongArity(w, "get")
+		return
+	}
+	if v, ok := s.cache.GetTenant(st.tenant, string(args[1])); ok {
+		w.Bulk(v)
+	} else {
+		w.Null()
+	}
+}
+
+func (s *Server) cmdSet(st *connState, w *resp.Writer, args [][]byte) {
+	if len(args) < 3 {
+		wrongArity(w, "set")
+		return
+	}
+	key, val := string(args[1]), args[2]
+	ttl := time.Duration(0)
+	haveTTL := false
+	for i := 3; i < len(args); i++ {
+		opt := commandName(args[i])
+		switch opt {
+		case "EX", "PX":
+			if haveTTL || i+1 >= len(args) {
+				w.Error("ERR syntax error")
+				return
+			}
+			n, err := strconv.ParseInt(string(args[i+1]), 10, 64)
+			if err != nil || n <= 0 {
+				w.Error("ERR invalid expire time in 'set' command")
+				return
+			}
+			if opt == "EX" {
+				ttl = time.Duration(n) * time.Second
+			} else {
+				ttl = time.Duration(n) * time.Millisecond
+			}
+			haveTTL = true
+			i++
+		default:
+			w.Error("ERR syntax error")
+			return
+		}
+	}
+	if haveTTL {
+		s.cache.SetTenantTTL(st.tenant, key, val, ttl)
+	} else {
+		s.cache.SetTenant(st.tenant, key, val)
+	}
+	w.SimpleString("OK")
+}
+
+func (s *Server) cmdMGet(st *connState, w *resp.Writer, args [][]byte) {
+	if len(args) < 2 {
+		wrongArity(w, "mget")
+		return
+	}
+	n := len(args) - 1
+	st.keys = st.keys[:0]
+	for _, a := range args[1:] {
+		st.keys = append(st.keys, string(a))
+	}
+	if cap(st.vals) < n {
+		st.vals = make([][]byte, n)
+		st.oks = make([]bool, n)
+	}
+	vals, oks := st.vals[:n], st.oks[:n]
+	s.cache.GetBatch(st.tenant, st.keys, vals, oks)
+	w.ArrayHeader(n)
+	for i := range oks {
+		if oks[i] {
+			w.Bulk(vals[i])
+		} else {
+			w.Null()
+		}
+		vals[i] = nil // drop the value reference from the scratch
+	}
+	clearStrings(st.keys)
+}
+
+func (s *Server) cmdMSet(st *connState, w *resp.Writer, args [][]byte) {
+	if len(args) < 3 || len(args)%2 != 1 {
+		wrongArity(w, "mset")
+		return
+	}
+	n := (len(args) - 1) / 2
+	st.keys = st.keys[:0]
+	if cap(st.vals) < n {
+		st.vals = make([][]byte, n)
+		st.oks = make([]bool, n)
+	}
+	vals := st.vals[:n]
+	for i := 0; i < n; i++ {
+		st.keys = append(st.keys, string(args[1+2*i]))
+		vals[i] = args[2+2*i]
+	}
+	s.cache.SetBatch(st.tenant, st.keys, vals)
+	w.SimpleString("OK")
+	clear(vals)
+	clearStrings(st.keys)
+}
+
+// clearStrings drops the string references held by a scratch slice so a
+// pooled session does not pin freed keys.
+func clearStrings(ss []string) {
+	for i := range ss {
+		ss[i] = ""
+	}
+}
+
+func (s *Server) cmdDel(w *resp.Writer, args [][]byte) {
+	if len(args) < 2 {
+		wrongArity(w, "del")
+		return
+	}
+	n := int64(0)
+	for _, a := range args[1:] {
+		if s.cache.Delete(string(a)) {
+			n++
+		}
+	}
+	w.Int(n)
+}
+
+func (s *Server) cmdExists(w *resp.Writer, args [][]byte) {
+	if len(args) < 2 {
+		wrongArity(w, "exists")
+		return
+	}
+	n := int64(0)
+	for _, a := range args[1:] {
+		if _, _, present := s.cache.TTL(string(a)); present {
+			n++
+		}
+	}
+	w.Int(n)
+}
+
+// cmdTTL implements TTL (unit = time.Second) and PTTL (time.Millisecond)
+// with redis's reply convention: -2 when the key is absent, -1 when it
+// has no deadline, else the remaining time rounded up to the unit (so a
+// freshly SET ... EX 1 reports 1, not 0).
+func (s *Server) cmdTTL(w *resp.Writer, args [][]byte, unit time.Duration) {
+	if len(args) != 2 {
+		wrongArity(w, "ttl")
+		return
+	}
+	remaining, hasTTL, present := s.cache.TTL(string(args[1]))
+	switch {
+	case !present:
+		w.Int(-2)
+	case !hasTTL:
+		w.Int(-1)
+	default:
+		w.Int(int64((remaining + unit - 1) / unit))
+	}
+}
+
+// infoText renders the INFO reply from a cache Snapshot: redis-style
+// "# Section" headers with key:value lines, one frame of coherent
+// counters per call.
+func (s *Server) infoText() string {
+	snap := s.cache.Snapshot()
+	s.mu.Lock()
+	open := len(s.conns)
+	started := s.startedAt
+	s.mu.Unlock()
+	uptime := time.Duration(0)
+	if !started.IsZero() {
+		uptime = time.Since(started)
+	}
+
+	var b []byte
+	line := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+		b = append(b, '\r', '\n')
+	}
+	line("# Server")
+	line("uptime_seconds:%d", int64(uptime.Seconds()))
+	line("connected_clients:%d", open)
+	line("total_connections_received:%d", s.nConns.Load())
+	line("total_commands_processed:%d", s.nCommands.Load())
+	line("")
+	line("# Cache")
+	line("policy:%s", s.cfg.Policy)
+	line("shards:%d", s.cfg.Shards)
+	line("sets_per_shard:%d", s.cfg.Sets)
+	line("ways:%d", s.cfg.Ways)
+	line("entries:%d", snap.Len)
+	line("capacity:%d", snap.Capacity)
+	line("rebalances:%d", snap.Rebalances)
+	line("rebalances_skipped:%d", snap.RebalancesSkipped)
+	line("sweep_expired:%d", snap.SweepExpired)
+	line("sweep_skipped:%d", snap.SweepSkipped)
+	line("")
+	line("# Tenants")
+	for t, ts := range snap.Tenants {
+		budget := uint64(0)
+		if snap.Budgets != nil {
+			budget = snap.Budgets[t]
+		}
+		line("tenant%d:name=%s,ways=%d,budget_bytes=%d,hits=%d,misses=%d,hit_rate=%.4f,evictions=%d,expirations=%d,bytes=%d",
+			t, s.names[t], snap.Quotas[t], budget,
+			ts.Hits, ts.Misses, ts.HitRate(), ts.Evictions, ts.Expirations, ts.Bytes)
+	}
+	return string(b)
+}
+
+// ParsePolicy maps a policy name (case-insensitive: lru, nru, bt,
+// random) to its plru.Kind — the -policy flag's parser, here so cmd and
+// tests share it.
+func ParsePolicy(name string) (plru.Kind, error) {
+	kinds := []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random}
+	known := make([]string, len(kinds))
+	for i, k := range kinds {
+		if strings.EqualFold(name, k.String()) {
+			return k, nil
+		}
+		known[i] = k.String()
+	}
+	return 0, fmt.Errorf("unknown policy %q (want one of %s)", name, strings.Join(known, ", "))
+}

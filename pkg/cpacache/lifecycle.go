@@ -509,6 +509,46 @@ func (c *Cache[K, V]) SetTTL(key K, ttl time.Duration) bool {
 	return true
 }
 
+// TTL reports the remaining time to live of key without refreshing its
+// recency: present is false when the key is absent — including when its
+// deadline already lapsed, in which case the entry is reclaimed exactly
+// as a lookup would reclaim it — and hasTTL is false when the entry is
+// resident but carries no deadline (it lives until displaced or
+// deleted). remaining is positive only when present and hasTTL are both
+// true. This is the query behind a wire protocol's TTL/PTTL/EXISTS
+// commands: an existence or expiry probe must not perturb the
+// replacement state the way GetTenant's touch would, and it records no
+// hit/miss statistics for the same reason.
+func (c *Cache[K, V]) TTL(key K) (remaining time.Duration, hasTTL, present bool) {
+	sh, set, tag := c.locate(key)
+	base := set * c.ways
+	tbase := c.tagBase(set)
+
+	sh.mu.Lock()
+	w := c.findLocked(sh, base, tbase, tag, key)
+	if w < 0 {
+		sh.mu.Unlock()
+		return 0, false, false
+	}
+	if sh.ttl[set]&(1<<uint(w)) == 0 {
+		sh.mu.Unlock()
+		return 0, false, true
+	}
+	dl := sh.deadline[base+w]
+	now := c.now()
+	if dl <= now {
+		c.drainTouches(sh) // Invalidate consults recency; apply pending first
+		exK, exV := c.expireLocked(sh, set, w)
+		sh.mu.Unlock()
+		if c.onExpire != nil {
+			c.onExpire(exK, exV)
+		}
+		return 0, false, false
+	}
+	sh.mu.Unlock()
+	return time.Duration(dl - now), true, true
+}
+
 // SetBudgets installs per-tenant byte budgets (len must equal Tenants();
 // 0 = unlimited; nil clears all budgets). Budgets require a WithCost
 // function — without one the cache has no byte measurements to enforce.

@@ -710,3 +710,65 @@ func TestCostAccountingFollowsLines(t *testing.T) {
 		t.Fatalf("after expiry: %+v", st[1])
 	}
 }
+
+func TestTTLQuery(t *testing.T) {
+	clk := newFakeClock()
+	var expired []string
+	c := ttlCache(t, clk,
+		WithOnExpire(func(k string, v int) { expired = append(expired, k) }),
+	)
+
+	if _, _, present := c.TTL("missing"); present {
+		t.Fatal("TTL of an absent key reports present")
+	}
+
+	c.Set("pinned", 1)
+	if rem, hasTTL, present := c.TTL("pinned"); !present || hasTTL || rem != 0 {
+		t.Fatalf("pinned entry: TTL = (%v,%v,%v), want (0,false,true)", rem, hasTTL, present)
+	}
+
+	c.SetTenantTTL(0, "timed", 2, 5*time.Second)
+	if rem, hasTTL, present := c.TTL("timed"); !present || !hasTTL || rem != 5*time.Second {
+		t.Fatalf("fresh deadline: TTL = (%v,%v,%v), want (5s,true,true)", rem, hasTTL, present)
+	}
+	clk.advance(2 * time.Second)
+	if rem, _, _ := c.TTL("timed"); rem != 3*time.Second {
+		t.Fatalf("after 2s: remaining = %v, want 3s", rem)
+	}
+
+	// A TTL probe must not refresh recency or count as an access.
+	before := c.Stats()[0]
+	c.TTL("timed")
+	after := c.Stats()[0]
+	if before.Hits != after.Hits || before.Misses != after.Misses {
+		t.Fatalf("TTL query moved hit/miss counters: %+v -> %+v", before, after)
+	}
+
+	// Re-arming through SetTTL is visible to the query.
+	if !c.SetTTL("timed", 10*time.Second) {
+		t.Fatal("SetTTL on a live key returned false")
+	}
+	if rem, _, _ := c.TTL("timed"); rem != 10*time.Second {
+		t.Fatalf("after re-arm: remaining = %v, want 10s", rem)
+	}
+	if !c.SetTTL("timed", 0) {
+		t.Fatal("SetTTL removing a deadline returned false")
+	}
+	if rem, hasTTL, present := c.TTL("timed"); !present || hasTTL || rem != 0 {
+		t.Fatalf("after unpin: TTL = (%v,%v,%v), want (0,false,true)", rem, hasTTL, present)
+	}
+
+	// A lapsed entry is reclaimed by the query itself, exactly like a
+	// lookup: OnExpire fires, Len drops, present is false.
+	c.SetTenantTTL(0, "lapses", 3, time.Second)
+	clk.advance(2 * time.Second)
+	if _, _, present := c.TTL("lapses"); present {
+		t.Fatal("lapsed entry still present through TTL")
+	}
+	if len(expired) != 1 || expired[0] != "lapses" {
+		t.Fatalf("TTL reclaim did not route to OnExpire: %v", expired)
+	}
+	if _, ok := c.Get("lapses"); ok {
+		t.Fatal("lapsed entry readable after TTL reclaimed it")
+	}
+}
