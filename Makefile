@@ -101,6 +101,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzRESPParse$$' -fuzztime=30s ./internal/resp/
 	$(GO) test -run=NONE -fuzz='^FuzzRESPRoundTrip$$' -fuzztime=10s ./internal/resp/
 	$(GO) test -run=NONE -fuzz='^FuzzVictimInMask$$' -fuzztime=10s ./pkg/plru/
+	$(GO) test -run=NONE -fuzz='^FuzzTouchBatchEquivalence$$' -fuzztime=10s ./pkg/plru/
 	$(GO) test -run=NONE -fuzz='^FuzzTagCollisionFallback$$' -fuzztime=10s ./pkg/cpacache/
 	$(GO) test -run=NONE -fuzz='^FuzzTouchRing$$' -fuzztime=10s ./pkg/cpacache/
 

@@ -64,7 +64,8 @@ func main() {
 		shards       = flag.Int("shards", 8, "cache shards")
 		sets         = flag.Int("sets", 1024, "sets per shard")
 		ways         = flag.Int("ways", 16, "ways per set (associativity)")
-		policy       = flag.String("policy", "bt", "replacement policy: lru, nru, bt, random")
+		policy       = flag.String("policy", "bt", "replacement policy: lru, nru, bt, random, awrp, arc")
+		autoSelect   = flag.Bool("policy-autoselect", false, "score candidate policies online and switch per tenant at rebalance boundaries (pair with -auto-rebalance)")
 		defaultTTL   = flag.Duration("default-ttl", 0, "TTL applied to SETs without EX/PX (0 = none)")
 		rebalance    = flag.Duration("auto-rebalance", 0, "background repartition interval (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight pipelines on shutdown")
@@ -78,14 +79,15 @@ func main() {
 		log.Fatalf("cpacached: %v", err)
 	}
 	srv, err := server.New(server.Config{
-		Shards:        *shards,
-		Sets:          *sets,
-		Ways:          *ways,
-		Policy:        kind,
-		Tenants:       tenants,
-		DefaultTTL:    *defaultTTL,
-		AutoRebalance: *rebalance,
-		Logf:          log.Printf,
+		Shards:           *shards,
+		Sets:             *sets,
+		Ways:             *ways,
+		Policy:           kind,
+		PolicyAutoSelect: *autoSelect,
+		Tenants:          tenants,
+		DefaultTTL:       *defaultTTL,
+		AutoRebalance:    *rebalance,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("cpacached: %v", err)

@@ -31,7 +31,7 @@ func main() {
 		wlName     = flag.String("workload", "", "Table II workload name (e.g. 2T_04)")
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark list (alternative to -workload)")
 		config     = flag.String("config", "", "CPA acronym (C-L, M-L, M-1.0N, M-0.75N, M-0.5N, M-BT); empty = non-partitioned")
-		policy     = flag.String("policy", "LRU", "L2 replacement policy for non-partitioned runs: LRU, NRU, BT, Random")
+		policy     = flag.String("policy", "LRU", "L2 replacement policy for non-partitioned runs: LRU, NRU, BT, Random, AWRP, ARC")
 		sizeKB     = flag.Int("size", 2048, "L2 size in KB")
 		insts      = flag.Uint64("insts", 1_000_000, "instructions per thread")
 		interval   = flag.Uint64("interval", 250_000, "repartition interval in cycles")

@@ -102,7 +102,8 @@ func main() {
 			fmt.Print(experiments.Table2())
 		case "fig6":
 			d, err := h.Fig6(ctx, []plru.Kind{
-				plru.LRU, plru.NRU, plru.BT, plru.Random})
+				plru.LRU, plru.NRU, plru.BT, plru.Random,
+				plru.AWRP, plru.ARC})
 			endCounter()
 			if err != nil {
 				fatal(err)

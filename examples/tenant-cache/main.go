@@ -2,9 +2,12 @@
 // cpacache.Cache, each with a way quota enforced through the paper's
 // replacement masks, and the full lifecycle subsystem on: per-entry TTLs
 // with a background sweeper, byte-cost accounting with per-tenant
-// budgets, and a background auto-rebalance ticker that moves ways to
+// budgets, a background auto-rebalance ticker that moves ways to
 // whichever tenant's observed hit curves can use them — no admin call
-// required.
+// required — and online policy auto-selection: each tenant's
+// replacement policy is scored against the alternatives in a shadow
+// directory and switched at rebalance boundaries when another candidate
+// provably serves its traffic better.
 //
 // Run the demo workload (no network needed):
 //
@@ -55,6 +58,10 @@ func newCache(auto time.Duration, sink cpacache.MetricsSink) (*cpacache.Cache[st
 		cpacache.WithSets(64),
 		cpacache.WithWays(16),
 		cpacache.WithPolicy(plru.LRU),
+		// Score LRU, AWRP and ARC per tenant in a shadow directory and
+		// switch at rebalance boundaries; the churner's never-repeating
+		// stream and the scanner's loop reward different policies.
+		cpacache.WithPolicyAutoSelect(plru.AWRP, plru.ARC),
 		cpacache.WithPartitions(tenants),
 		cpacache.WithProfileSampling(1),
 		cpacache.WithCost(cacheCost),
@@ -95,6 +102,9 @@ func main() {
 				if e.Applied {
 					log.Printf("rebalance: %v -> %v (auto=%v, %d samples)", e.Old, e.New, e.Auto, e.SampledAccesses)
 				}
+			},
+			PolicySwitch: func(e cpacache.PolicySwitchEvent) {
+				log.Printf("policy switch: tenant %d %v -> %v (%d window accesses)", e.Tenant, e.From, e.To, e.WindowAccesses)
 			},
 		})
 		if err != nil {
@@ -160,6 +170,7 @@ func newMux(c *cpacache.Cache[string, string]) *http.ServeMux {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		type tenantReport struct {
 			Quota       int     `json:"quota_ways"`
+			Policy      string  `json:"policy"`
 			Hits        uint64  `json:"hits"`
 			Misses      uint64  `json:"misses"`
 			Evictions   uint64  `json:"evictions"`
@@ -167,11 +178,12 @@ func newMux(c *cpacache.Cache[string, string]) *http.ServeMux {
 			Bytes       uint64  `json:"bytes_resident"`
 			HitRate     float64 `json:"hit_rate"`
 		}
-		quotas, stats := c.Quotas(), c.Stats()
+		quotas, stats, pols := c.Quotas(), c.Stats(), c.TenantPolicies()
 		out := make([]tenantReport, tenants)
 		for t := range out {
 			out[t] = tenantReport{
-				Quota: quotas[t], Hits: stats[t].Hits, Misses: stats[t].Misses,
+				Quota: quotas[t], Policy: pols[t].String(),
+				Hits: stats[t].Hits, Misses: stats[t].Misses,
 				Evictions: stats[t].Evictions, Expirations: stats[t].Expirations,
 				Bytes: stats[t].Bytes, HitRate: stats[t].HitRate(),
 			}
@@ -328,6 +340,10 @@ func runDemo(interval time.Duration) {
 					e.Old, e.New, e.SampledAccesses)
 			}
 		},
+		PolicySwitch: func(e cpacache.PolicySwitchEvent) {
+			fmt.Printf("  [ticker] tenant %d policy %v -> %v (shadow-scored over %d accesses)\n",
+				e.Tenant, e.From, e.To, e.WindowAccesses)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -367,6 +383,8 @@ func runDemo(interval time.Duration) {
 	}
 	fmt.Printf("%d TTL'd log entries reclaimed (%d by the background sweeper), %d bytes resident\n",
 		expir, snap.SweepExpired, snap.Tenants[0].Bytes+snap.Tenants[1].Bytes+snap.Tenants[2].Bytes)
+	fmt.Printf("per-tenant policies after %d shadow-scored switch(es): %v\n",
+		snap.PolicySwitches, snap.Policies)
 	fmt.Println("\nways moved toward the tenant whose miss curve said it could use")
 	fmt.Println("them — without any Rebalance call; the churner is walled off at one")
 	fmt.Println("way and loses nothing, because a never-repeating key stream cannot")

@@ -276,7 +276,13 @@ func (c *Cache) AccessRW(core int, addr uint64, write bool) Result {
 	c.valid[base+way] = true
 	c.dirty[base+way] = write
 	c.owner[base+way] = int16(core)
-	c.pol.Touch(set, way, core)
+	// A miss-fill is a Fill, not a Touch: the adaptive policies (AWRP,
+	// ARC) distinguish insertion from reuse, and ARC's ghost history
+	// recognizes returning lines by signature. The tag is the line's
+	// identity within the set, so folding it to a byte gives a stable
+	// signature; for the static policies Fill is defined as Touch and
+	// nothing changes.
+	c.pol.Fill(set, way, core, uint8(tag^tag>>8^tag>>16^tag>>24))
 	res.Way = way
 	return res
 }

@@ -122,6 +122,41 @@ func TestFig6Shape(t *testing.T) {
 	}
 }
 
+// TestFig6AdaptivePolicies runs the Figure 6 sweep with an explicit
+// policy list including the adaptive kinds; the nil default above must
+// stay the paper's three policies, so AWRP/ARC ride only on explicit
+// requests (as cmd/repro's fig6 case makes).
+func TestFig6AdaptivePolicies(t *testing.T) {
+	ctx := context.Background()
+	h := New(tinyOptions())
+	pols := []replacement.Kind{replacement.LRU, replacement.AWRP, replacement.ARC}
+	d, err := h.Fig6(ctx, pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Policies) != len(pols) {
+		t.Fatalf("policies = %v, want %v", d.Policies, pols)
+	}
+	for ci := range d.Cores {
+		if d.Rel[0][ci][0] != 1 {
+			t.Errorf("cores %d: LRU rel throughput %v != 1", d.Cores[ci], d.Rel[0][ci][0])
+		}
+		for pi := range d.Policies {
+			v := d.Rel[0][ci][pi]
+			if v < 0.5 || v > 1.2 {
+				t.Errorf("cores %d policy %v: rel throughput %v out of sane band",
+					d.Cores[ci], d.Policies[pi], v)
+			}
+		}
+	}
+	csv := d.CSV()
+	for _, pol := range []string{"AWRP", "ARC"} {
+		if !strings.Contains(csv, pol) {
+			t.Errorf("CSV missing %s rows", pol)
+		}
+	}
+}
+
 func TestFig7Shape(t *testing.T) {
 	ctx := context.Background()
 	h := New(tinyOptions())

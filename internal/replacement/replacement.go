@@ -16,16 +16,19 @@ import "repro/pkg/plru"
 // Kind identifies a replacement policy family. See plru.Kind.
 type Kind = plru.Kind
 
-// The replacement policy families used in the paper's evaluation.
+// The replacement policy families used in the paper's evaluation, plus
+// the adaptive policies added on top of them.
 const (
 	LRU    = plru.LRU    // true Least Recently Used
 	NRU    = plru.NRU    // Not Recently Used (used bit + global replacement pointer)
 	BT     = plru.BT     // Binary Tree pseudo-LRU
 	Random = plru.Random // uniform random victim (reference)
+	AWRP   = plru.AWRP   // Adaptive Weight Ranking (recency stamp + frequency weight)
+	ARC    = plru.ARC    // ARC-style two-tier recency/frequency with ghost history
 )
 
 // ParseKind converts a policy name ("LRU", "NRU", "BT", "Random",
-// case-sensitive) into a Kind.
+// "AWRP", "ARC", case-sensitive) into a Kind.
 func ParseKind(s string) (Kind, error) { return plru.ParseKind(s) }
 
 // WayMask is a bitmask over cache ways. See plru.WayMask.
@@ -68,6 +71,19 @@ func NewBTPolicy(sets, ways int) *BTPolicy { return plru.NewBTPolicy(sets, ways)
 func NewRandomPolicy(sets, ways int, seed uint64) *RandomPolicy {
 	return plru.NewRandomPolicy(sets, ways, seed)
 }
+
+// AWRPPolicy is the Adaptive Weight Ranking policy. See plru.AWRPPolicy.
+type AWRPPolicy = plru.AWRPPolicy
+
+// ARCPolicy is the ARC-inspired adaptive policy with ghost history. See
+// plru.ARCPolicy.
+type ARCPolicy = plru.ARCPolicy
+
+// NewAWRPPolicy returns an AWRP policy for the given geometry.
+func NewAWRPPolicy(sets, ways int) *AWRPPolicy { return plru.NewAWRPPolicy(sets, ways) }
+
+// NewARCPolicy returns an ARC policy for the given geometry.
+func NewARCPolicy(sets, ways int) *ARCPolicy { return plru.NewARCPolicy(sets, ways) }
 
 // New constructs a policy of the given kind for a cache with `sets` sets,
 // `ways` ways and `cores` sharer cores. The seed is used only by Random.

@@ -63,6 +63,14 @@ type Config struct {
 	Ways   int // per-set associativity (default 16)
 	Policy plru.Kind
 
+	// PolicyAutoSelect enables online per-tenant policy selection
+	// (cpacache.WithPolicyAutoSelect with the default candidate set):
+	// every candidate policy runs warm, a shadow directory scores them
+	// on sampled sets, and tenants switch at rebalance boundaries. Pair
+	// it with AutoRebalance so switches actually happen. INFO reports
+	// each tenant's active policy either way.
+	PolicyAutoSelect bool
+
 	// Tenants declares the multi-tenant layout; empty means one
 	// anonymous tenant with no AUTH required.
 	Tenants []TenantConfig
@@ -133,6 +141,9 @@ func New(cfg Config) (*Server, error) {
 		cpacache.WithCost[string, []byte](func(k string, v []byte) uint64 {
 			return uint64(len(k) + len(v))
 		}),
+	}
+	if cfg.PolicyAutoSelect {
+		opts = append(opts, cpacache.WithPolicyAutoSelect())
 	}
 	if cfg.DefaultTTL > 0 {
 		opts = append(opts, cpacache.WithDefaultTTL(cfg.DefaultTTL))
@@ -424,6 +435,8 @@ func (s *Server) dispatch(st *connState, w *resp.Writer, args [][]byte) {
 		s.cmdTTL(w, args, time.Second)
 	case "PTTL":
 		s.cmdTTL(w, args, time.Millisecond)
+	case "CONFIG":
+		s.cmdConfig(w, args)
 	case "INFO":
 		w.BulkString(s.infoText())
 	default:
@@ -565,6 +578,41 @@ func clearStrings(ss []string) {
 	}
 }
 
+// cmdConfig is the CONFIG GET stub that redis load generators
+// (memtier_benchmark, redis-benchmark) probe on connect: maxmemory,
+// save and appendonly answer with their "no limit / no persistence"
+// values so the tools proceed. Unmatched parameters get an empty
+// array, as redis replies for unknown names; every other CONFIG
+// subcommand is refused — the server's real configuration surface is
+// its process flags.
+func (s *Server) cmdConfig(w *resp.Writer, args [][]byte) {
+	if len(args) < 2 {
+		wrongArity(w, "config")
+		return
+	}
+	if sub := commandName(args[1]); sub != "GET" {
+		w.Error(fmt.Sprintf("ERR CONFIG %s is not supported", sub))
+		return
+	}
+	if len(args) != 3 {
+		wrongArity(w, "config|get")
+		return
+	}
+	stub := [...][2]string{{"maxmemory", "0"}, {"save", ""}, {"appendonly", "no"}}
+	pattern := strings.ToLower(string(args[2]))
+	matched := make([][2]string, 0, len(stub))
+	for _, kv := range stub {
+		if pattern == "*" || pattern == kv[0] {
+			matched = append(matched, kv)
+		}
+	}
+	w.ArrayHeader(2 * len(matched))
+	for _, kv := range matched {
+		w.BulkString(kv[0])
+		w.BulkString(kv[1])
+	}
+}
+
 func (s *Server) cmdDel(w *resp.Writer, args [][]byte) {
 	if len(args) < 2 {
 		wrongArity(w, "del")
@@ -640,6 +688,8 @@ func (s *Server) infoText() string {
 	line("")
 	line("# Cache")
 	line("policy:%s", s.cfg.Policy)
+	line("policy_autoselect:%d", boolBit(s.cfg.PolicyAutoSelect))
+	line("policy_switches:%d", snap.PolicySwitches)
 	line("shards:%d", s.cfg.Shards)
 	line("sets_per_shard:%d", s.cfg.Sets)
 	line("ways:%d", s.cfg.Ways)
@@ -656,18 +706,25 @@ func (s *Server) infoText() string {
 		if snap.Budgets != nil {
 			budget = snap.Budgets[t]
 		}
-		line("tenant%d:name=%s,ways=%d,budget_bytes=%d,hits=%d,misses=%d,hit_rate=%.4f,evictions=%d,expirations=%d,bytes=%d",
-			t, s.names[t], snap.Quotas[t], budget,
+		line("tenant%d:name=%s,policy=%s,ways=%d,budget_bytes=%d,hits=%d,misses=%d,hit_rate=%.4f,evictions=%d,expirations=%d,bytes=%d",
+			t, s.names[t], snap.Policies[t], snap.Quotas[t], budget,
 			ts.Hits, ts.Misses, ts.HitRate(), ts.Evictions, ts.Expirations, ts.Bytes)
 	}
 	return string(b)
 }
 
-// ParsePolicy maps a policy name (case-insensitive: lru, nru, bt,
-// random) to its plru.Kind — the -policy flag's parser, here so cmd and
-// tests share it.
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ParsePolicy maps a policy name (case-insensitive; any plru.Kind:
+// lru, nru, bt, random, awrp, arc) to its plru.Kind — the -policy
+// flag's parser, here so cmd and tests share it.
 func ParsePolicy(name string) (plru.Kind, error) {
-	kinds := []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random}
+	kinds := plru.Kinds()
 	known := make([]string, len(kinds))
 	for i, k := range kinds {
 		if strings.EqualFold(name, k.String()) {

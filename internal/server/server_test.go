@@ -265,7 +265,7 @@ func TestServerAuthTenants(t *testing.T) {
 		t.Fatalf("quotas not installed: %v", got)
 	}
 	info := c.do("INFO")
-	for _, want := range []string{"tenant0:name=gold,ways=6,budget_bytes=1048576", "tenant1:name=lead,ways=2"} {
+	for _, want := range []string{"tenant0:name=gold,policy=LRU,ways=6,budget_bytes=1048576", "tenant1:name=lead,policy=LRU,ways=2"} {
 		if !strings.Contains(string(info.Str), want) {
 			t.Fatalf("INFO missing %q:\n%s", want, info.Str)
 		}
@@ -362,9 +362,80 @@ func TestServerDrain(t *testing.T) {
 	}
 }
 
+// TestServerConfigGetStub covers the CONFIG GET compatibility stub the
+// standard redis load generators probe on connect.
+func TestServerConfigGetStub(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Sets: 64, Ways: 8, Policy: plru.LRU})
+	c := dial(t, s)
+
+	pairs := func(args ...string) map[string]string {
+		t.Helper()
+		rep := c.do(args...)
+		if rep.Kind != resp.KindArray || len(rep.Array)%2 != 0 {
+			t.Fatalf("%v => %+v, want flat key/value array", args, rep)
+		}
+		got := make(map[string]string, len(rep.Array)/2)
+		for i := 0; i < len(rep.Array); i += 2 {
+			got[string(rep.Array[i].Str)] = string(rep.Array[i+1].Str)
+		}
+		return got
+	}
+	if got := pairs("CONFIG", "GET", "maxmemory"); len(got) != 1 || got["maxmemory"] != "0" {
+		t.Fatalf("CONFIG GET maxmemory = %v, want {maxmemory: 0}", got)
+	}
+	if got := pairs("config", "get", "SAVE"); len(got) != 1 || got["save"] != "" {
+		t.Fatalf("CONFIG GET save = %v, want {save: \"\"}", got)
+	}
+	if got := pairs("CONFIG", "GET", "appendonly"); len(got) != 1 || got["appendonly"] != "no" {
+		t.Fatalf("CONFIG GET appendonly = %v, want {appendonly: no}", got)
+	}
+	if got := pairs("CONFIG", "GET", "*"); len(got) != 3 {
+		t.Fatalf("CONFIG GET * = %v, want all three stubbed parameters", got)
+	}
+	if got := pairs("CONFIG", "GET", "maxclients"); len(got) != 0 {
+		t.Fatalf("CONFIG GET maxclients = %v, want empty array for unknown parameter", got)
+	}
+	c.expectErrPrefix("ERR CONFIG SET is not supported", "CONFIG", "SET", "maxmemory", "100")
+	c.expectErrPrefix("ERR wrong number of arguments", "CONFIG")
+	c.expectErrPrefix("ERR wrong number of arguments", "CONFIG", "GET")
+}
+
+// TestServerInfoTenantPolicies pins INFO's policy surface: the
+// configured base policy, the auto-select bit, the switch counter, and
+// one policy=<kind> field per tenant line.
+func TestServerInfoTenantPolicies(t *testing.T) {
+	s := startServer(t, Config{
+		Shards: 2, Sets: 64, Ways: 8, Policy: plru.LRU,
+		PolicyAutoSelect: true,
+		Tenants: []TenantConfig{
+			{Name: "gold", Password: "g"},
+			{Name: "lead", Password: "l"},
+		},
+	})
+	c := dial(t, s)
+	c.expectSimple("OK", "AUTH", "g")
+	rep := c.do("INFO")
+	if rep.Kind != resp.KindBulk {
+		t.Fatalf("INFO => %+v, want bulk", rep)
+	}
+	info := string(rep.Str)
+	for _, want := range []string{
+		"policy:LRU",
+		"policy_autoselect:1",
+		"policy_switches:0",
+		"tenant0:name=gold,policy=LRU,",
+		"tenant1:name=lead,policy=LRU,",
+	} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+}
+
 func TestParsePolicy(t *testing.T) {
 	for name, want := range map[string]plru.Kind{
 		"lru": plru.LRU, "NRU": plru.NRU, "bt": plru.BT, "Random": plru.Random,
+		"awrp": plru.AWRP, "ARC": plru.ARC,
 	} {
 		got, err := ParsePolicy(name)
 		if err != nil || got != want {

@@ -15,10 +15,14 @@ import (
 )
 
 func newAllocCache(t *testing.T, tenants int) *Cache[uint64, uint64] {
+	return newAllocCachePol(t, plru.BT, tenants)
+}
+
+func newAllocCachePol(t *testing.T, pol plru.Kind, tenants int) *Cache[uint64, uint64] {
 	t.Helper()
 	c, err := New[uint64, uint64](
 		WithShards(8), WithSets(256), WithWays(8),
-		WithPolicy(plru.BT), WithPartitions(tenants),
+		WithPolicy(pol), WithPartitions(tenants),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +56,71 @@ func TestSetChurnZeroAlloc(t *testing.T) {
 		k++
 	}); n != 0 {
 		t.Fatalf("SetChurn allocates %v/op, want 0", n)
+	}
+}
+
+// TestAdaptivePoliciesZeroAlloc pins the warm lookup and evicting insert
+// paths at zero allocations under the adaptive policies (AWRP and ARC,
+// including ARC's ghost-ring probes on every fill) — the issue's
+// acceptance bar for dropping them into the optimistic data plane.
+func TestAdaptivePoliciesZeroAlloc(t *testing.T) {
+	for _, pol := range []plru.Kind{plru.AWRP, plru.ARC} {
+		t.Run(pol.String(), func(t *testing.T) {
+			c := newAllocCachePol(t, pol, 1)
+			const keys = 1024
+			for k := uint64(0); k < keys; k++ {
+				c.Set(k, k)
+			}
+			i := uint64(0)
+			if n := testing.AllocsPerRun(1000, func() {
+				c.Get(i % keys)
+				i++
+			}); n != 0 {
+				t.Fatalf("%v GetHit allocates %v/op, want 0", pol, n)
+			}
+			k := uint64(1 << 40)
+			if n := testing.AllocsPerRun(1000, func() {
+				c.Set(k, k)
+				k++
+			}); n != 0 {
+				t.Fatalf("%v SetChurn allocates %v/op, want 0", pol, n)
+			}
+		})
+	}
+}
+
+// TestAutoSelectHotPathZeroAlloc pins the data plane at zero allocations
+// with policy auto-selection on: the candidate fan-out, the shadow-
+// directory probes on sampled sets, and the adaptive victim routing must
+// all stay allocation-free.
+func TestAutoSelectHotPathZeroAlloc(t *testing.T) {
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.LRU), WithPartitions(2),
+		WithPolicyAutoSelect(),
+		WithProfileSampling(4), // plenty of shadow probes in the mix
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4096
+	for k := uint64(0); k < keys; k++ {
+		c.SetTenant(int(k)%2, k, k)
+	}
+	rng := uint64(9)
+	if n := testing.AllocsPerRun(2000, func() {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		k := rng % (2 * keys)
+		tenant := int(rng>>20) % 2
+		if rng%8 == 0 {
+			c.SetTenant(tenant, k, k)
+		} else {
+			c.GetTenant(tenant, k)
+		}
+	}); n != 0 {
+		t.Fatalf("auto-select hot path allocates %v/op, want 0", n)
 	}
 }
 

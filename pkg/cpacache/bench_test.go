@@ -40,7 +40,7 @@ func BenchmarkGetHit(b *testing.B) {
 // BenchmarkSetChurn measures inserts that continuously evict (key space
 // far beyond capacity), exercising victim selection every time.
 func BenchmarkSetChurn(b *testing.B) {
-	for _, pol := range []plru.Kind{plru.BT, plru.NRU, plru.LRU} {
+	for _, pol := range []plru.Kind{plru.BT, plru.NRU, plru.LRU, plru.AWRP, plru.ARC} {
 		b.Run(pol.String(), func(b *testing.B) {
 			c := newBenchCache(b, pol, 1)
 			b.ReportAllocs()
@@ -105,6 +105,48 @@ func BenchmarkParallelGetHit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGetHitAdaptive is BenchmarkGetHit with policy auto-selection
+// on: the warm lookup pays the shadow-directory probe only on sampled
+// sets (1 in 16 by default); the rest of the overhead is the deferred
+// fan-out when writers drain the touch ring.
+func BenchmarkGetHitAdaptive(b *testing.B) {
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.LRU), WithPolicyAutoSelect(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const keys = 1024
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(uint64(i) % keys)
+	}
+}
+
+// BenchmarkSetChurnAdaptive is BenchmarkSetChurn with auto-selection on:
+// every insert's victim selection routes through the tenant's selected
+// instance and its recency fan-out reaches every warm candidate.
+func BenchmarkSetChurnAdaptive(b *testing.B) {
+	c, err := New[uint64, uint64](
+		WithShards(8), WithSets(256), WithWays(8),
+		WithPolicy(plru.LRU), WithPolicyAutoSelect(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		c.Set(k, k)
+	}
 }
 
 // BenchmarkGetHitTTL is BenchmarkGetHit with every entry carrying a

@@ -139,6 +139,16 @@ type Cache[K comparable, V any] struct {
 	ctlCaps   []int
 	ctlBytes  []uint64
 	ctlBPW    []uint64
+
+	// Policy auto-selection (autoselect.go). activeKinds is nil unless
+	// WithPolicyAutoSelect was given; polByTenant[t] indexes activeKinds
+	// and is guarded by quotaMu (the per-shard routing copies live in
+	// shard.multi.byTenant). The ctlShadow* slices are decision scratch.
+	activeKinds   []plru.Kind
+	polByTenant   []int
+	ctlShadowHits [][]uint64
+	ctlShadowAcc  []uint64
+	nPolSwitch    atomic.Uint64
 }
 
 // shard is one independently locked slice of the cache: sets×ways slots
@@ -147,16 +157,22 @@ type Cache[K comparable, V any] struct {
 // ttl, deadline) are allocated before the cache is visible and never
 // reallocated, so a reader can never observe a torn slice header.
 type shard[K comparable, V any] struct {
-	mu    sync.Mutex
-	pol   policyRef
-	tags  []uint64 // setStride words per set: sequence word + packed tag bytes (tags.go)
-	keys  []K
-	vals  []V
-	owner []int16 // tenant that filled the slot, -1 when empty
-	masks []plru.WayMask
-	live  atomic.Int64 // written under mu, read lock-free by Len
-	stats []TenantStats
-	prof  profiler[K]
+	mu sync.Mutex
+	// pol is the shard's policy instance; under WithPolicyAutoSelect it
+	// aliases the base-kind instance in multi and the data plane routes
+	// through the pol* methods (autoselect.go) instead. shadow is the
+	// candidate-scoring directory, nil unless auto-selection is on.
+	pol    policyRef
+	multi  *multiPol
+	shadow *shadowDir
+	tags   []uint64 // setStride words per set: sequence word + packed tag bytes (tags.go)
+	keys   []K
+	vals   []V
+	owner  []int16 // tenant that filled the slot, -1 when empty
+	masks  []plru.WayMask
+	live   atomic.Int64 // written under mu, read lock-free by Len
+	stats  []TenantStats
+	prof   profiler[K]
 
 	// hm is the striped hit/miss plane: one cache-line-padded cell per
 	// tenant, bumped with plain increments by every lookup path and
@@ -342,6 +358,24 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		c.ctlCurves[t] = curveBuf[t*(s.ways+1) : (t+1)*(s.ways+1)]
 	}
 	c.ctlMasks = make([]plru.WayMask, s.tenants)
+	if s.autoselect {
+		c.activeKinds = s.candidates
+		c.polByTenant = make([]int, s.tenants)
+		baseIdx := 0
+		for i, k := range c.activeKinds {
+			if k == s.policy {
+				baseIdx = i
+			}
+		}
+		for t := range c.polByTenant {
+			c.polByTenant[t] = baseIdx
+		}
+		c.ctlShadowHits = make([][]uint64, len(c.activeKinds))
+		for k := range c.ctlShadowHits {
+			c.ctlShadowHits[k] = make([]uint64, s.tenants)
+		}
+		c.ctlShadowAcc = make([]uint64, s.tenants)
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.pol = newPolicyRef(s.policy, s.sets, s.ways, s.tenants, s.seed+uint64(i))
@@ -369,6 +403,12 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 			sh.cost = make([]uint64, s.sets*s.ways)
 		}
 		sh.prof.init(s.sets, s.ways, s.tenants, s.sampleEvery)
+		if s.autoselect {
+			baseIdx := c.polByTenant[0]
+			sh.multi = newMultiPol(c.activeKinds, baseIdx, s.sets, s.ways, s.tenants, s.seed+uint64(i))
+			sh.pol = sh.multi.pols[baseIdx]
+			sh.shadow = newShadowDir(c.activeKinds, sh.prof.sampledCount, s.tenants, s.ways, s.seed+uint64(i))
+		}
 	}
 	if err := c.SetQuotas(c.quotas); err != nil {
 		return nil, err
@@ -483,6 +523,9 @@ func (c *Cache[K, V]) getLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 	sh.mu.Lock()
 	if sh.prof.isSampled(set) {
 		sh.prof.record(set, tenant, key)
+		if sh.shadow != nil {
+			sh.shadow.access(int(sh.prof.slot[set]), tenant, tag)
+		}
 	}
 	// Probe is inlined here (not findLocked) to keep the path free of
 	// call overhead: one SWAR match per tag word, then key-confirm. The
@@ -538,7 +581,8 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 	base := set * c.ways
 	tbase := c.tagBase(set)
 	way := c.findLocked(sh, base, tbase, tag, key)
-	if way >= 0 {
+	update := way >= 0
+	if update {
 		// In-place update of the resident line.
 		if sh.ttl[set]&(1<<uint(way)) != 0 && sh.deadline[base+way] <= c.now() {
 			evKey, evVal, kind = sh.keys[base+way], sh.vals[base+way], evictTTL
@@ -593,7 +637,7 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 				// recency, so pending deferred touches apply here —
 				// updates and empty-way fills never pay a drain.
 				c.drainTouches(sh)
-				way = sh.pol.victim(set, tenant, sh.masks[tenant])
+				way = sh.polVictim(set, tenant, sh.masks[tenant])
 				evKey, evVal, kind = sh.keys[base+way], sh.vals[base+way], evictLive
 				sh.stats[sh.owner[base+way]].Evictions++
 			}
@@ -619,10 +663,18 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 		}
 	}
 	sh.endSetWrite(sbase)
-	// The fill's own touch joins the deferred queue when records are
-	// pending, so every recency update — hit or fill — reaches the
-	// policy in program order.
-	c.touchOrPush(sh, set, way, tenant)
+	// The access's own recency record joins the deferred queue when
+	// records are pending, so every update — hit, update-in-place or new
+	// fill — reaches the policy in program order. Updates of a resident
+	// line are recency hits (Touch); everything else installed a new
+	// line, which the policy must see as a Fill carrying the line's tag
+	// byte as its signature (AWRP resets its frequency on it, ARC probes
+	// its ghost rings with it).
+	if update {
+		c.touchOrPush(sh, set, way, tenant)
+	} else {
+		c.fillOrPush(sh, set, way, tenant, tag)
+	}
 	if sh.cost != nil {
 		cost := c.costFn(key, value)
 		sh.cost[base+way] = cost
@@ -719,7 +771,7 @@ func (c *Cache[K, V]) clearSlotLocked(sh *shard[K, V], set, way int) {
 		sh.wheel.unlink(int32(base + way))
 	}
 	sh.endSetWrite(sbase)
-	sh.pol.invalidate(set, way)
+	sh.polInvalidate(set, way)
 	sh.live.Add(-1)
 }
 
@@ -761,8 +813,28 @@ func (c *Cache[K, V]) Shards() int { return len(c.shards) }
 // Tenants returns the number of partitions the cache was built with.
 func (c *Cache[K, V]) Tenants() int { return c.tenants }
 
-// Policy returns the replacement policy family in use.
+// Policy returns the replacement policy family the cache was built
+// with. Under WithPolicyAutoSelect individual tenants may have been
+// switched away from it — see TenantPolicies.
 func (c *Cache[K, V]) Policy() plru.Kind { return c.policy }
+
+// TenantPolicies returns the replacement policy currently serving each
+// tenant. Without WithPolicyAutoSelect every tenant uses the base
+// policy; with it, the auto-selector may have switched tenants to the
+// candidate their profiled traffic scores best.
+func (c *Cache[K, V]) TenantPolicies() []plru.Kind {
+	out := make([]plru.Kind, c.tenants)
+	c.quotaMu.Lock()
+	for t := range out {
+		if c.activeKinds != nil {
+			out[t] = c.activeKinds[c.polByTenant[t]]
+		} else {
+			out[t] = c.policy
+		}
+	}
+	c.quotaMu.Unlock()
+	return out
+}
 
 // Quotas returns a copy of the current per-tenant way quotas.
 func (c *Cache[K, V]) Quotas() []int {
@@ -820,7 +892,7 @@ func (c *Cache[K, V]) setQuotasLocked(quotas []int) error {
 		// used-bit reset by them), exactly as immediate touches would.
 		c.drainTouches(sh)
 		copy(sh.masks, masks)
-		sh.pol.setPartition(masks)
+		sh.polSetPartition(masks)
 		sh.mu.Unlock()
 	}
 	return nil
@@ -988,11 +1060,23 @@ func (c *Cache[K, V]) rebalance(auto bool) ([]int, bool, error) {
 			return nil, false, err
 		}
 	}
+	// Policy auto-selection rides the same window boundary: score the
+	// candidates on the shadow hits the closing window accumulated, then
+	// reset the window alongside the profile. The gather must precede
+	// the reset, so it cannot share the loop below.
+	var switches []PolicySwitchEvent
+	if c.activeKinds != nil && (apply || evaluated) {
+		switches = c.selectPoliciesLocked()
+		c.nPolSwitch.Add(uint64(len(switches)))
+	}
 	if apply || evaluated {
 		for i := range c.shards {
 			sh := &c.shards[i]
 			sh.mu.Lock()
 			sh.prof.reset()
+			if sh.shadow != nil {
+				sh.shadow.resetWindow()
+			}
 			sh.mu.Unlock()
 		}
 	}
@@ -1020,6 +1104,11 @@ func (c *Cache[K, V]) rebalance(auto bool) ([]int, bool, error) {
 
 	if emit {
 		c.sink.Rebalance(ev)
+	}
+	if c.sink.PolicySwitch != nil {
+		for _, sev := range switches {
+			c.sink.PolicySwitch(sev)
+		}
 	}
 	return quotas, apply, nil
 }

@@ -132,6 +132,7 @@ func (m *refModel[K, V]) set(tenant int, key K, value V) {
 // setDL mirrors setLocked with an explicit deadline (0 = none).
 func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) {
 	si, set := m.locate(key)
+	tag := tagOf(maphash.Comparable(m.c.seed, key))
 	base := set * m.c.ways
 	way := -1
 	for w := 0; w < m.c.ways; w++ {
@@ -140,7 +141,8 @@ func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) {
 			break
 		}
 	}
-	if way >= 0 {
+	update := way >= 0
+	if update {
 		// In-place update: an expired old value surfaces as an expiration.
 		if m.expired(si, base+way) {
 			m.stats[m.owner[si][base+way]].Expirations++
@@ -206,7 +208,13 @@ func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) {
 	m.vals[si][base+way] = value
 	m.owner[si][base+way] = int16(tenant)
 	m.dl[si][base+way] = dl
-	m.pols[si].Touch(set, way, tenant)
+	// Mirror setLocked's recency split: updates of a resident line are
+	// Touches, new fills are Fills carrying the line's tag byte.
+	if update {
+		m.pols[si].Touch(set, way, tenant)
+	} else {
+		m.pols[si].Fill(set, way, tenant, tag)
+	}
 	if m.costFn != nil {
 		cost := m.costFn(key, value)
 		m.cost[si][base+way] = cost
@@ -363,7 +371,7 @@ func TestDifferentialAgainstLinearModel(t *testing.T) {
 	}
 	const polSeed = 99
 	for _, mode := range recencyModes {
-		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random} {
+		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random, plru.AWRP, plru.ARC} {
 			for _, g := range geos {
 				if pol == plru.BT && g.ways&(g.ways-1) != 0 {
 					continue
@@ -458,7 +466,7 @@ func TestDifferentialTTLAndCost(t *testing.T) {
 	const polSeed = 123
 	costOf := func(k, v uint64) uint64 { return k%7 + 1 }
 	for _, mode := range recencyModes {
-		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random} {
+		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random, plru.AWRP, plru.ARC} {
 			for _, g := range geos {
 				t.Run(fmt.Sprintf("%s/%v/%dx%dx%d", mode.name, pol, g.shards, g.sets, g.ways), func(t *testing.T) {
 					clk := newFakeClock()

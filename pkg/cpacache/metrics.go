@@ -8,6 +8,8 @@ package cpacache
 // reclaimed 40 expired lines". Sink callbacks run outside every cache
 // lock, on the goroutine that made the decision.
 
+import "repro/pkg/plru"
+
 // MetricsSink receives lifecycle events. Any callback may be nil; nil
 // callbacks are simply skipped. Callbacks must be safe for concurrent use
 // (the sweeper and the auto-rebalance ticker are separate goroutines) and
@@ -21,6 +23,10 @@ type MetricsSink struct {
 	// Sweep is called after a background sweep tick that reclaimed at
 	// least one expired entry or skipped at least one contended shard.
 	Sweep func(SweepEvent)
+	// PolicySwitch is called once per tenant whose replacement policy
+	// the auto-selector (WithPolicyAutoSelect) switched at a rebalance
+	// boundary. Never called without auto-selection.
+	PolicySwitch func(PolicySwitchEvent)
 }
 
 // RebalanceEvent describes one rebalance decision.
@@ -48,6 +54,23 @@ type RebalanceEvent struct {
 	PredictedMissesOld, PredictedMissesNew uint64
 }
 
+// PolicySwitchEvent describes one tenant's replacement-policy switch,
+// decided by the auto-selector at a rebalance boundary.
+type PolicySwitchEvent struct {
+	// Tenant is the switched tenant.
+	Tenant int
+	// From and To are the outgoing and incoming policy kinds.
+	From, To plru.Kind
+	// WindowAccesses is the number of profiled accesses the tenant
+	// contributed to the decision window.
+	WindowAccesses uint64
+	// Candidates lists the candidate kinds and ShadowHits their shadow
+	// hit counts for this tenant over the window, index-aligned. Both
+	// are copies owned by the sink.
+	Candidates []plru.Kind
+	ShadowHits []uint64
+}
+
 // SweepEvent describes one background sweep tick that reclaimed expired
 // entries or backed off from contention.
 type SweepEvent struct {
@@ -73,6 +96,10 @@ type Snapshot struct {
 	Tenants []TenantStats
 	// Quotas is the installed per-tenant way allocation.
 	Quotas []int
+	// Policies is the replacement policy currently serving each tenant:
+	// the base policy everywhere unless WithPolicyAutoSelect switched a
+	// tenant to a better-scoring candidate.
+	Policies []plru.Kind
 	// Budgets is the per-tenant byte budgets installed with SetBudgets
 	// (nil when none are set).
 	Budgets []uint64
@@ -88,6 +115,9 @@ type Snapshot struct {
 	// SweepSkipped counts shard sweeps skipped because the shard lock
 	// was contended when the sweeper's tick tried to take it.
 	SweepSkipped uint64
+	// PolicySwitches counts tenant policy switches the auto-selector
+	// has applied over the cache's lifetime (0 without auto-selection).
+	PolicySwitches uint64
 }
 
 // Snapshot returns a point-in-time metrics frame: per-tenant counters,
@@ -105,11 +135,20 @@ func (c *Cache[K, V]) Snapshot() Snapshot {
 	// pairs freshly installed quotas with a not-yet-bumped count.
 	c.quotaMu.Lock()
 	s.Quotas = append([]int(nil), c.quotas...)
+	s.Policies = make([]plru.Kind, c.tenants)
+	for t := range s.Policies {
+		if c.activeKinds != nil {
+			s.Policies[t] = c.activeKinds[c.polByTenant[t]]
+		} else {
+			s.Policies[t] = c.policy
+		}
+	}
 	if c.budgets != nil {
 		s.Budgets = append([]uint64(nil), c.budgets...)
 	}
 	s.Rebalances = c.nRebalanced.Load()
 	s.RebalancesSkipped = c.nRebalanceSkip.Load()
+	s.PolicySwitches = c.nPolSwitch.Load()
 	c.quotaMu.Unlock()
 	return s
 }

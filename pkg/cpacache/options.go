@@ -34,6 +34,9 @@ type settings struct {
 	immediate   bool
 	touchBuffer int
 
+	autoselect bool
+	candidates []plru.Kind
+
 	sink MetricsSink
 }
 
@@ -73,6 +76,11 @@ func newSettings(opts []Option) (settings, error) {
 	if s.sets <= 0 {
 		return settings{}, fmt.Errorf("cpacache: sets must be positive, got %d", s.sets)
 	}
+	if s.sets > maxRingSets {
+		// The deferred-recency ring packs the set index into 22 bits
+		// (ring.go); no realistic geometry comes close.
+		return settings{}, fmt.Errorf("cpacache: sets must be at most %d, got %d", maxRingSets, s.sets)
+	}
 	if s.ways <= 0 || s.ways > plru.MaxWays {
 		return settings{}, fmt.Errorf("cpacache: ways must be in [1,%d], got %d", plru.MaxWays, s.ways)
 	}
@@ -99,6 +107,13 @@ func newSettings(opts []Option) (settings, error) {
 	}
 	if s.touchBuffer <= 0 || s.touchBuffer&(s.touchBuffer-1) != 0 {
 		return settings{}, fmt.Errorf("cpacache: touch buffer must be a positive power of two, got %d", s.touchBuffer)
+	}
+	if s.autoselect {
+		kinds, err := resolveCandidates(s.policy, s.ways, s.candidates)
+		if err != nil {
+			return settings{}, err
+		}
+		s.candidates = kinds
 	}
 	return s, nil
 }
@@ -243,6 +258,33 @@ func WithRebalanceHysteresis(minGain float64, minSamples uint64) Option {
 	return optionFunc(func(s *settings) error {
 		s.hysteresis = minGain
 		s.minSamples = minSamples
+		return nil
+	})
+}
+
+// WithPolicyAutoSelect lets the cache pick each tenant's replacement
+// policy online instead of pinning every tenant to WithPolicy. The
+// candidates (default: every kind that fits the geometry, except
+// Random) are scored per tenant on the profiled lookup stream through
+// per-candidate shadow tag directories, and at each rebalance boundary
+// — manual Rebalance calls or WithAutoRebalance ticks — a tenant whose
+// best candidate beats its current policy by more than the
+// WithRebalanceHysteresis fraction (with at least minSamples profiled
+// accesses in the window) is switched to it. Every candidate instance
+// is kept warm on the real access stream, so switches take effect
+// immediately with no cold-start transient. Switches are reported via
+// MetricsSink.PolicySwitch, counted in Snapshot.PolicySwitches and
+// visible in Snapshot.Policies / TenantPolicies.
+//
+// The base WithPolicy kind is always a candidate; listing BT requires
+// power-of-two ways. Auto-selection costs memory (one policy instance
+// per candidate per shard plus the shadow directories) and fan-out
+// writes on recency updates — the price of keeping every candidate
+// switch-ready.
+func WithPolicyAutoSelect(candidates ...plru.Kind) Option {
+	return optionFunc(func(s *settings) error {
+		s.autoselect = true
+		s.candidates = candidates
 		return nil
 	})
 }

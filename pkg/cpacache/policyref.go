@@ -16,6 +16,8 @@ type policyRef struct {
 	nru  *plru.NRUPolicy
 	bt   *plru.BTPolicy
 	rnd  *plru.RandomPolicy
+	awrp *plru.AWRPPolicy
+	arc  *plru.ARCPolicy
 }
 
 // newPolicyRef builds the concrete policy for kind, mirroring plru.New.
@@ -28,6 +30,10 @@ func newPolicyRef(kind plru.Kind, sets, ways, cores int, seed uint64) policyRef 
 		p.nru = plru.NewNRUPolicy(sets, ways, cores)
 	case plru.BT:
 		p.bt = plru.NewBTPolicy(sets, ways)
+	case plru.AWRP:
+		p.awrp = plru.NewAWRPPolicy(sets, ways)
+	case plru.ARC:
+		p.arc = plru.NewARCPolicy(sets, ways)
 	default:
 		p.rnd = plru.NewRandomPolicy(sets, ways, seed)
 	}
@@ -44,6 +50,10 @@ func (p *policyRef) iface() plru.Policy {
 		return p.nru
 	case plru.BT:
 		return p.bt
+	case plru.AWRP:
+		return p.awrp
+	case plru.ARC:
+		return p.arc
 	default:
 		return p.rnd
 	}
@@ -57,8 +67,29 @@ func (p *policyRef) touch(set, way, core int) {
 		p.nru.Touch(set, way, core)
 	case plru.BT:
 		p.bt.Touch(set, way, core)
+	case plru.AWRP:
+		p.awrp.Touch(set, way, core)
+	case plru.ARC:
+		p.arc.Touch(set, way, core)
 	default:
 		p.rnd.Touch(set, way, core)
+	}
+}
+
+func (p *policyRef) fill(set, way, core int, sig uint8) {
+	switch p.kind {
+	case plru.LRU:
+		p.lru.Fill(set, way, core, sig)
+	case plru.NRU:
+		p.nru.Fill(set, way, core, sig)
+	case plru.BT:
+		p.bt.Fill(set, way, core, sig)
+	case plru.AWRP:
+		p.awrp.Fill(set, way, core, sig)
+	case plru.ARC:
+		p.arc.Fill(set, way, core, sig)
+	default:
+		p.rnd.Fill(set, way, core, sig)
 	}
 }
 
@@ -70,6 +101,10 @@ func (p *policyRef) touchBatch(recs []plru.TouchRec) {
 		p.nru.TouchBatch(recs)
 	case plru.BT:
 		p.bt.TouchBatch(recs)
+	case plru.AWRP:
+		p.awrp.TouchBatch(recs)
+	case plru.ARC:
+		p.arc.TouchBatch(recs)
 	default:
 		p.rnd.TouchBatch(recs)
 	}
@@ -83,6 +118,10 @@ func (p *policyRef) victim(set, core int, allowed plru.WayMask) int {
 		return p.nru.Victim(set, core, allowed)
 	case plru.BT:
 		return p.bt.Victim(set, core, allowed)
+	case plru.AWRP:
+		return p.awrp.Victim(set, core, allowed)
+	case plru.ARC:
+		return p.arc.Victim(set, core, allowed)
 	default:
 		return p.rnd.Victim(set, core, allowed)
 	}
@@ -96,6 +135,10 @@ func (p *policyRef) invalidate(set, way int) {
 		p.nru.Invalidate(set, way)
 	case plru.BT:
 		p.bt.Invalidate(set, way)
+	case plru.AWRP:
+		p.awrp.Invalidate(set, way)
+	case plru.ARC:
+		p.arc.Invalidate(set, way)
 	default:
 		p.rnd.Invalidate(set, way)
 	}
@@ -109,6 +152,10 @@ func (p *policyRef) setPartition(masks []plru.WayMask) {
 		p.nru.SetPartition(masks)
 	case plru.BT:
 		p.bt.SetPartition(masks)
+	case plru.AWRP:
+		p.awrp.SetPartition(masks)
+	case plru.ARC:
+		p.arc.SetPartition(masks)
 	default:
 		p.rnd.SetPartition(masks)
 	}

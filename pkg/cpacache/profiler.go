@@ -20,8 +20,9 @@ package cpacache
 // its own accesses only, undisturbed by other tenants' evictions — the
 // "isolated miss curve" the partitioning model assumes.
 type profiler[K comparable] struct {
-	depth   int // stack depth == ways
-	tenants int
+	depth        int // stack depth == ways
+	tenants      int
+	sampledCount int // number of sampled sets (shadowDir sizes itself on it)
 	// sampleBits[set/64] bit set%64 marks sets where set % every == 0.
 	sampleBits []uint64
 	// slot[set] is the sampled-set ordinal (stack-block index), -1 when
@@ -52,6 +53,7 @@ func (p *profiler[K]) init(sets, ways, tenants, every int) {
 			p.slot[set] = -1
 		}
 	}
+	p.sampledCount = sampled
 	p.stacks = make([][]K, sampled*tenants)
 	for i := range p.stacks {
 		// Full capacity up front: record() must never allocate, even

@@ -47,17 +47,34 @@ import (
 // WithTouchBuffer overrides it. 256 records = 2KB per shard.
 const touchRingDefault = 256
 
-// touch record layout: | valid(1) | set(31) | tenant(16) | way(16) |.
+// touch record layout:
+// | valid(1) | fill(1) | sig(8) | set(22) | tenant(16) | way(16) |.
 // The valid bit distinguishes a stored record from a never-written or
-// already-drained slot.
-const touchValid = uint64(1) << 63
+// already-drained slot; the fill bit marks a deferred policy Fill (a new
+// line installed by a locked write path while hit records were still
+// queued) whose 8-bit line signature rides in the sig field. Squeezing
+// the signature in caps the set field at 22 bits — newSettings rejects
+// geometries beyond 1<<22 sets per shard, far above any real
+// configuration.
+const (
+	touchValid = uint64(1) << 63
+	touchFill  = uint64(1) << 62
+)
+
+// maxRingSets is the largest per-shard set count the packed record can
+// address.
+const maxRingSets = 1 << 22
 
 func packTouch(set, way, tenant int) uint64 {
 	return touchValid | uint64(set)<<32 | uint64(tenant)<<16 | uint64(way)
 }
 
+func packFill(set, way, tenant int, sig uint8) uint64 {
+	return touchValid | touchFill | uint64(sig)<<54 | uint64(set)<<32 | uint64(tenant)<<16 | uint64(way)
+}
+
 func unpackTouch(r uint64) (set, way, tenant int) {
-	return int(r << 1 >> 33), int(uint16(r)), int(uint16(r >> 16))
+	return int(r>>32) & (maxRingSets - 1), int(uint16(r)), int(uint16(r >> 16))
 }
 
 // pushTouch appends one deferred recency record. Safe for any number of
@@ -88,7 +105,20 @@ func (c *Cache[K, V]) touchOrPush(sh *shard[K, V], set, way, tenant int) {
 		sh.pushTouch(set, way, tenant)
 		return
 	}
-	sh.pol.touch(set, way, tenant)
+	sh.polTouch(set, way, tenant)
+}
+
+// fillOrPush is touchOrPush for a new line: the policy must see a Fill
+// (with the line's signature) rather than a Touch, in exactly the program
+// order the ring preserves. Caller holds sh.mu.
+func (c *Cache[K, V]) fillOrPush(sh *shard[K, V], set, way, tenant int, sig uint8) {
+	if sh.touchRing != nil && atomic.LoadUint64(&sh.touchHead) != sh.touchDrained {
+		h := sh.touchHead
+		sh.touchHead = h + 1
+		sh.touchRing[h&sh.touchMask] = packFill(set, way, tenant, sig)
+		return
+	}
+	sh.polFill(set, way, tenant, sig)
 }
 
 // drainTouches applies every pending ring record to the shard's policy in
@@ -123,6 +153,9 @@ func (c *Cache[K, V]) drainSlow(sh *shard[K, V], h uint64) {
 		*slot = 0
 		set, way, tenant := unpackTouch(r)
 		rec := plru.TouchRec{Set: int32(set), Way: int32(way), Core: int32(tenant)}
+		if r&touchFill != 0 {
+			rec.Sig = plru.FillRec | int32(uint8(r>>54))
+		}
 		// Bounds check: a record that raced an overwrite can in
 		// principle mix two producers' words (see the file comment);
 		// anything in range is at worst recency noise, anything out of
@@ -132,5 +165,5 @@ func (c *Cache[K, V]) drainSlow(sh *shard[K, V], h uint64) {
 		}
 	}
 	sh.touchDrained = h
-	sh.pol.touchBatch(recs)
+	sh.polTouchBatch(recs)
 }

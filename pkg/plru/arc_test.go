@@ -1,0 +1,156 @@
+package plru
+
+import "testing"
+
+// fillVictim runs one capacity replacement: pick the unmasked victim and
+// fill it with sig, returning the way.
+func fillVictim(p *ARCPolicy, set int, sig uint8) int {
+	v := p.Victim(set, 0, Full(p.Ways()))
+	p.Fill(set, v, 0, sig)
+	return v
+}
+
+// TestARCVictimPrefersFreeWays checks untracked ways are always reclaimed
+// before any resident line.
+func TestARCVictimPrefersFreeWays(t *testing.T) {
+	p := NewARCPolicy(1, 4)
+	p.Fill(0, 0, 0, 10)
+	p.Fill(0, 1, 0, 11)
+	for i := 0; i < 2; i++ {
+		v := p.Victim(0, 0, Full(4))
+		if v != 2 && v != 3 {
+			t.Fatalf("victim %d is a resident line while ways 2,3 are free", v)
+		}
+		p.Fill(0, v, 0, uint8(20+i))
+	}
+}
+
+// TestARCTouchPromotesTiers pins the tier lifecycle: Fill lands in T1, a
+// hit promotes to T2, another hit stays T2.
+func TestARCTouchPromotesTiers(t *testing.T) {
+	p := NewARCPolicy(1, 4)
+	p.Fill(0, 2, 0, 7)
+	if tier := p.Tier(0, 2); tier != 1 {
+		t.Fatalf("tier after Fill = %d, want 1 (T1)", tier)
+	}
+	p.Touch(0, 2, 0)
+	if tier := p.Tier(0, 2); tier != 2 {
+		t.Fatalf("tier after first hit = %d, want 2 (T2)", tier)
+	}
+	p.Touch(0, 2, 0)
+	if tier := p.Tier(0, 2); tier != 2 {
+		t.Fatalf("tier after second hit = %d, want 2 (T2)", tier)
+	}
+}
+
+// TestARCGhostHitAdaptsTarget checks the adaptation loop: re-filling a
+// signature recently evicted from T1 grows the target (the recency tier
+// was undersized) and installs the returning line directly in T2.
+func TestARCGhostHitAdaptsTarget(t *testing.T) {
+	p := NewARCPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Fill(0, w, 0, uint8(100+w))
+	}
+	before := p.Target(0)
+	// Evict the oldest T1 line (sig 100) into the B1 ghost ring.
+	v := fillVictim(p, 0, 50)
+	if v != 0 {
+		t.Fatalf("victim = %d, want the oldest T1 line 0", v)
+	}
+	// The evicted signature returns: B1 hit.
+	w := p.Victim(0, 0, Full(4))
+	p.Fill(0, w, 0, 100)
+	if got := p.Target(0); got != before+1 {
+		t.Fatalf("target after B1 ghost hit = %d, want %d", got, before+1)
+	}
+	if tier := p.Tier(0, w); tier != 2 {
+		t.Fatalf("returning line landed in tier %d, want 2 (T2)", tier)
+	}
+}
+
+// TestARCScanResistance is the policy's reason to exist: lines hit twice
+// (T2) survive a long stream of one-shot fills, which consume only the
+// recency tier — the workload where LRU loses its whole set.
+func TestARCScanResistance(t *testing.T) {
+	p := NewARCPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Fill(0, w, 0, uint8(w))
+	}
+	p.Touch(0, 0, 0) // ways 0,1 become T2
+	p.Touch(0, 1, 0)
+	for i := 0; i < 100; i++ {
+		v := fillVictim(p, 0, uint8(200+i%50))
+		if v == 0 || v == 1 {
+			t.Fatalf("scan step %d evicted hot T2 line %d", i, v)
+		}
+	}
+	if p.Tier(0, 0) != 2 || p.Tier(0, 1) != 2 {
+		t.Fatal("hot lines lost their T2 membership during the scan")
+	}
+}
+
+// TestARCInvalidateFreesWay checks Invalidate clears tier membership,
+// makes the way the preferred victim, and pushes no ghost entry (a
+// re-fill of the same signature must not adapt the target).
+func TestARCInvalidateFreesWay(t *testing.T) {
+	p := NewARCPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Fill(0, w, 0, uint8(30+w))
+	}
+	p.Touch(0, 2, 0)
+	p.Invalidate(0, 2)
+	if tier := p.Tier(0, 2); tier != 0 {
+		t.Fatalf("tier after Invalidate = %d, want 0 (free)", tier)
+	}
+	if v := p.Victim(0, 0, Full(4)); v != 2 {
+		t.Fatalf("victim after Invalidate = %d, want 2", v)
+	}
+	before := p.Target(0)
+	p.Fill(0, 2, 0, 32) // same sig as the invalidated line
+	if got := p.Target(0); got != before {
+		t.Fatalf("target moved %d -> %d on re-fill of an invalidated sig; Invalidate must not leave a ghost", before, got)
+	}
+}
+
+// TestARCVictimFallsBackAcrossTiers checks a mask covering only the
+// unpreferred tier still yields a victim.
+func TestARCVictimFallsBackAcrossTiers(t *testing.T) {
+	p := NewARCPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Fill(0, w, 0, uint8(w))
+	}
+	p.Touch(0, 3, 0) // way 3 is the only T2 line; t1cnt=3 >= target=2 prefers T1
+	if v := p.Victim(0, 0, WayMask(0).With(3)); v != 3 {
+		t.Fatalf("mask holding only the T2 line: victim = %d, want 3", v)
+	}
+	// And the symmetric case: target forced to ways (prefer T2), mask
+	// holding only T1 lines.
+	p.target[0] = 4
+	if v := p.Victim(0, 0, WayMask(0).With(0).With(1)); v != 0 && v != 1 {
+		t.Fatalf("mask holding only T1 lines: victim = %d", v)
+	}
+}
+
+// TestARCTargetStaysInRange drives a churning workload and checks the
+// adaptation target never escapes [0, ways].
+func TestARCTargetStaysInRange(t *testing.T) {
+	p := NewARCPolicy(2, 4)
+	rng := uint64(3)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 2000; i++ {
+		set := int(next() % 2)
+		if next()%3 == 0 {
+			p.Touch(set, int(next()%4), 0)
+		} else {
+			fillVictim(p, set, uint8(next()%8)) // few sigs: frequent ghost hits
+		}
+		if tgt := p.Target(set); tgt < 0 || tgt > 4 {
+			t.Fatalf("step %d: target %d out of [0,4]", i, tgt)
+		}
+	}
+}

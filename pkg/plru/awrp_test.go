@@ -1,0 +1,139 @@
+package plru
+
+import "testing"
+
+// TestAWRPVictimIsMinWeight cross-checks Victim against the Weight
+// introspection after an arbitrary access schedule: the chosen way must
+// carry the minimum weight within the mask, lowest index on ties.
+func TestAWRPVictimIsMinWeight(t *testing.T) {
+	p := NewAWRPPolicy(2, 8)
+	rng := uint64(1)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 500; i++ {
+		set := int(next() % 2)
+		switch next() % 3 {
+		case 0:
+			p.Touch(set, int(next()%8), 0)
+		case 1:
+			p.Fill(set, int(next()%8), 0, uint8(next()))
+		default:
+			p.Invalidate(set, int(next()%8))
+		}
+		mask := WayMask(next()) & Full(8)
+		if mask == 0 {
+			mask = Full(8)
+		}
+		v := p.Victim(set, 0, mask)
+		for _, w := range mask.Ways() {
+			if p.Weight(set, w) < p.Weight(set, v) {
+				t.Fatalf("step %d: victim %d (weight %d) not minimal; way %d has %d",
+					i, v, p.Weight(set, v), w, p.Weight(set, w))
+			}
+			if p.Weight(set, w) == p.Weight(set, v) && w < v {
+				t.Fatalf("step %d: tie at weight %d broken toward %d, want %d", i, p.Weight(set, v), v, w)
+			}
+		}
+	}
+}
+
+// TestAWRPFrequencyDefendsHotLine is the policy's reason to exist: a line
+// with accumulated frequency outranks lines touched more recently but
+// only once, where pure LRU would evict it.
+func TestAWRPFrequencyDefendsHotLine(t *testing.T) {
+	p := NewAWRPPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Fill(0, w, 0, uint8(w))
+	}
+	// Way 1 gets hot; then every other way is touched once, so way 1 is
+	// the least recently used line.
+	for i := 0; i < 10; i++ {
+		p.Touch(0, 1, 0)
+	}
+	for _, w := range []int{0, 2, 3} {
+		p.Touch(0, w, 0)
+	}
+	lru := NewLRUPolicy(1, 4)
+	for w := 0; w < 4; w++ {
+		lru.Touch(0, w, 0)
+	}
+	for i := 0; i < 10; i++ {
+		lru.Touch(0, 1, 0)
+	}
+	for _, w := range []int{0, 2, 3} {
+		lru.Touch(0, w, 0)
+	}
+	if v := lru.Victim(0, 0, Full(4)); v != 1 {
+		t.Fatalf("setup broken: LRU victim = %d, want the stale hot line 1", v)
+	}
+	if v := p.Victim(0, 0, Full(4)); v == 1 {
+		t.Fatal("AWRP evicted the hot line despite its frequency weight")
+	}
+}
+
+// TestAWRPRecencyAgesOutStaleHotLine bounds the squatting: even a
+// frequency-saturated line loses to fresh traffic once it has been stale
+// for more than freqBoost*255 ticks.
+func TestAWRPRecencyAgesOutStaleHotLine(t *testing.T) {
+	p := NewAWRPPolicy(1, 2)
+	p.Fill(0, 0, 0, 1)
+	for i := 0; i < 300; i++ { // saturate way 0's frequency
+		p.Touch(0, 0, 0)
+	}
+	p.Fill(0, 1, 0, 2)
+	// Way 1 absorbs all traffic; each touch advances the set clock.
+	for i := 0; i < awrpFreqBoost*255+10; i++ {
+		p.Touch(0, 1, 0)
+	}
+	if v := p.Victim(0, 0, Full(2)); v != 0 {
+		t.Fatalf("stale saturated line not aged out: victim = %d, want 0", v)
+	}
+}
+
+// TestAWRPFillResetsFrequency checks a new line does not inherit the
+// popularity of the line it replaced.
+func TestAWRPFillResetsFrequency(t *testing.T) {
+	p := NewAWRPPolicy(1, 4)
+	for i := 0; i < 50; i++ {
+		p.Touch(0, 2, 0)
+	}
+	if p.Freq(0, 2) != 50 {
+		t.Fatalf("freq = %d, want 50", p.Freq(0, 2))
+	}
+	p.Fill(0, 2, 0, 9)
+	if p.Freq(0, 2) != 1 {
+		t.Fatalf("freq after Fill = %d, want 1", p.Freq(0, 2))
+	}
+}
+
+// TestAWRPInvalidateMakesWayTheVictim checks the freed way drops to
+// weight 0 and wins the next victim selection.
+func TestAWRPInvalidateMakesWayTheVictim(t *testing.T) {
+	p := NewAWRPPolicy(1, 8)
+	for w := 0; w < 8; w++ {
+		p.Fill(0, w, 0, uint8(w))
+		p.Touch(0, w, 0)
+	}
+	for way := 0; way < 8; way++ {
+		p.Invalidate(0, way)
+		if v := p.Victim(0, 0, Full(8)); v != way {
+			t.Fatalf("Victim after Invalidate(%d) = %d", way, v)
+		}
+		p.Touch(0, way, 0) // re-arm for the next round
+	}
+}
+
+// TestAWRPFreqSaturates pins the 8-bit ceiling.
+func TestAWRPFreqSaturates(t *testing.T) {
+	p := NewAWRPPolicy(1, 1)
+	for i := 0; i < 300; i++ {
+		p.Touch(0, 0, 0)
+	}
+	if p.Freq(0, 0) != 255 {
+		t.Fatalf("freq = %d, want saturation at 255", p.Freq(0, 0))
+	}
+}

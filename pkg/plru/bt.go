@@ -127,6 +127,10 @@ func (p *BTPolicy) TouchBatch(recs []TouchRec) {
 	}
 }
 
+// Fill is Touch: BT keeps no per-line identity, so a new line just turns
+// its root path away, like any access.
+func (p *BTPolicy) Fill(set, way, core int, sig uint8) { p.Touch(set, way, core) }
+
 // Invalidate points every tree bit on the way's root path toward it —
 // the inverse of Touch — so an unmasked victim walk lands exactly on the
 // freed way. Only log2(ways) bits change.

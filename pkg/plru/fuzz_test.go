@@ -3,17 +3,20 @@ package plru
 import "testing"
 
 // FuzzVictimInMask drives every policy family through a fuzzer-chosen
-// schedule of Touch/Victim/SetPartition operations and checks the core
-// contract the partitioning enforcement relies on: Victim never returns a
-// way outside the allowed mask (nor outside the geometry, even when the
-// mask carries bits above the associativity).
+// schedule of Touch/Fill/Invalidate/Victim/SetPartition operations and
+// checks the core contract the partitioning enforcement relies on: Victim
+// never returns a way outside the allowed mask (nor outside the geometry,
+// even when the mask carries bits above the associativity).
 func FuzzVictimInMask(f *testing.F) {
 	f.Add(uint8(0), uint8(2), uint64(1), []byte{0x00, 0x7F, 0xA5})
 	f.Add(uint8(1), uint8(4), uint64(7), []byte{0xFF, 0x01, 0x80, 0x3C})
 	f.Add(uint8(2), uint8(3), uint64(9), []byte{0x10, 0x42})
 	f.Add(uint8(3), uint8(6), uint64(3), []byte{0xEE, 0x12, 0x9A, 0x55, 0x04})
+	f.Add(uint8(4), uint8(3), uint64(11), []byte{0x21, 0x13, 0x08, 0x6D})
+	f.Add(uint8(5), uint8(5), uint64(13), []byte{0xC4, 0x3B, 0x57, 0x02, 0x99})
 	f.Fuzz(func(t *testing.T, kindRaw, waysExp uint8, seed uint64, ops []byte) {
-		kind := Kind(int(kindRaw) % 4)
+		kinds := Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
 		ways := 1 << (int(waysExp) % 7) // 1..64: every policy accepts these
 		const sets, cores = 8, 3
 		p := New(kind, sets, ways, cores, seed)
@@ -30,7 +33,7 @@ func FuzzVictimInMask(f *testing.F) {
 		for i, op := range ops {
 			set := int(op) % sets
 			core := int(op>>3) % cores
-			switch op % 3 {
+			switch op % 5 {
 			case 0:
 				p.Touch(set, int(next()%uint64(ways)), core)
 			case 1:
@@ -47,6 +50,10 @@ func FuzzVictimInMask(f *testing.F) {
 					t.Fatalf("%v ways=%d op=%d: victim %d outside mask %v", kind, ways, i, v, mask)
 				}
 				p.Touch(set, v, core)
+			case 2:
+				p.Fill(set, int(next()%uint64(ways)), core, uint8(next()))
+			case 3:
+				p.Invalidate(set, int(next()%uint64(ways)))
 			default:
 				// Install (or clear) a partition mid-stream; masks may be
 				// empty for some cores, which scope() treats as "whole set".
@@ -60,6 +67,75 @@ func FuzzVictimInMask(f *testing.F) {
 					p.SetPartition(masks)
 				}
 			}
+		}
+	})
+}
+
+// FuzzTouchBatchEquivalence pins the TouchBatch contract for every policy
+// family: applying a fuzzer-chosen record stream through one TouchBatch
+// call must leave the policy in exactly the state the equivalent sequence
+// of Touch/Fill calls produces — observed through the victim choices of
+// both instances over a shared schedule of masks.
+func FuzzTouchBatchEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint64(5), []byte{0x01, 0x82, 0x13})
+	f.Add(uint8(4), uint8(3), uint64(9), []byte{0xFF, 0x40, 0x2A, 0x07})
+	f.Add(uint8(5), uint8(4), uint64(2), []byte{0x90, 0x65, 0x11, 0xC3, 0x38})
+	f.Fuzz(func(t *testing.T, kindRaw, waysExp uint8, seed uint64, ops []byte) {
+		kinds := Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		ways := 1 << (int(waysExp) % 7)
+		const sets, cores = 4, 2
+		batched := New(kind, sets, ways, cores, seed)
+		direct := New(kind, sets, ways, cores, seed)
+
+		rng := seed | 1
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+
+		recs := make([]TouchRec, 0, len(ops))
+		for _, op := range ops {
+			r := TouchRec{
+				Set:  int32(int(op) % sets),
+				Way:  int32(next() % uint64(ways)),
+				Core: int32(int(op>>4) % cores),
+			}
+			if op&0x80 != 0 {
+				r.Sig = FillRec | int32(uint8(next()))
+			}
+			recs = append(recs, r)
+		}
+
+		batched.TouchBatch(recs)
+		for _, r := range recs {
+			if r.Sig&FillRec != 0 {
+				direct.Fill(int(r.Set), int(r.Way), int(r.Core), uint8(r.Sig))
+			} else {
+				direct.Touch(int(r.Set), int(r.Way), int(r.Core))
+			}
+		}
+
+		// Same victim schedule against both instances: any state divergence
+		// shows up as a differing choice (both policies see identical masks,
+		// so even stateful Victims — NRU's pointer, Random's RNG — stay in
+		// lockstep when the states match).
+		for trial := 0; trial < 32; trial++ {
+			set := trial % sets
+			mask := WayMask(next())
+			if mask&Full(ways) == 0 {
+				mask |= Full(ways)
+			}
+			vb := batched.Victim(set, trial%cores, mask)
+			vd := direct.Victim(set, trial%cores, mask)
+			if vb != vd {
+				t.Fatalf("%v ways=%d trial=%d: batched victim %d != direct victim %d (mask %v)",
+					kind, ways, trial, vb, vd, mask)
+			}
+			batched.Touch(set, vb, trial%cores)
+			direct.Touch(set, vd, trial%cores)
 		}
 	})
 }

@@ -63,6 +63,10 @@ func (p *LRUPolicy) TouchBatch(recs []TouchRec) {
 	}
 }
 
+// Fill is Touch: LRU keeps no per-line identity, so a new line simply
+// becomes MRU.
+func (p *LRUPolicy) Fill(set, way, core int, sig uint8) { p.Touch(set, way, core) }
+
 // Invalidate demotes way to the LRU position of set, promoting every line
 // that was older than it by one step; the freed way becomes the unmasked
 // victim until it is touched again.

@@ -110,6 +110,10 @@ func (p *NRUPolicy) TouchBatch(recs []TouchRec) {
 	}
 }
 
+// Fill is Touch: NRU keeps no per-line identity, so a fill just sets the
+// used bit under the scoped reset rule.
+func (p *NRUPolicy) Fill(set, way, core int, sig uint8) { p.Touch(set, way, core) }
+
 // Invalidate clears the used bit of (set, way): the way reads as "not
 // recently used", so the victim scan can reclaim it immediately.
 func (p *NRUPolicy) Invalidate(set, way int) {

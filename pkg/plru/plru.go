@@ -29,12 +29,17 @@ import (
 // Kind identifies a replacement policy family.
 type Kind int
 
-// The replacement policy families used in the paper's evaluation.
+// The replacement policy families used in the paper's evaluation
+// (LRU/NRU/BT/Random), plus the adaptive policies layered on afterwards:
+// AWRP (Adaptive Weight Ranking Policy, arXiv:1107.4851) and ARC (an
+// ARC-style adaptive policy with ghost tiers, after arXiv:1503.07624).
 const (
 	LRU    Kind = iota // true Least Recently Used
 	NRU                // Not Recently Used (used bit + global replacement pointer)
 	BT                 // Binary Tree pseudo-LRU
 	Random             // uniform random victim (reference)
+	AWRP               // Adaptive Weight Ranking (frequency + recency weights)
+	ARC                // ARC-style adaptive (T1/T2 tiers + ghost lists)
 )
 
 // String returns the conventional short name of the policy kind.
@@ -48,13 +53,23 @@ func (k Kind) String() string {
 		return "BT"
 	case Random:
 		return "Random"
+	case AWRP:
+		return "AWRP"
+	case ARC:
+		return "ARC"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// ParseKind converts a policy name ("LRU", "NRU", "BT", "Random",
-// case-sensitive) into a Kind.
+// Kinds returns every policy kind in declaration order. The slice is
+// freshly allocated; callers may modify it.
+func Kinds() []Kind {
+	return []Kind{LRU, NRU, BT, Random, AWRP, ARC}
+}
+
+// ParseKind converts a policy name ("LRU", "NRU", "BT", "Random", "AWRP",
+// "ARC", case-sensitive) into a Kind.
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "LRU":
@@ -65,6 +80,10 @@ func ParseKind(s string) (Kind, error) {
 		return BT, nil
 	case "Random":
 		return Random, nil
+	case "AWRP":
+		return AWRP, nil
+	case "ARC":
+		return ARC, nil
 	}
 	return 0, fmt.Errorf("plru: unknown policy %q", s)
 }
@@ -141,9 +160,19 @@ func (m WayMask) String() string {
 // lock-free read path that batches recency updates — see
 // repro/pkg/cpacache's touch ring). Records are applied in slice order by
 // TouchBatch.
+//
+// Sig distinguishes hits from fills for the adaptive policies: zero means
+// a plain Touch; FillRec|sigByte means the record is a deferred Fill
+// whose line signature is the low 8 bits. The static policies ignore the
+// distinction (their Fill is Touch).
 type TouchRec struct {
 	Set, Way, Core int32
+	Sig            int32
 }
+
+// FillRec flags a TouchRec as a deferred Fill; the low 8 bits of Sig
+// carry the line signature passed to Fill.
+const FillRec int32 = 1 << 8
 
 // Policy is the common behavior of a replacement policy instance covering
 // every set of one cache.
@@ -157,8 +186,16 @@ type Policy interface {
 	// Touch records an access — hit or fill — to way `way` of set `set`
 	// by core `core`, updating the recency state.
 	Touch(set, way, core int)
+	// Fill records that a *new line* was installed in way `way` of set
+	// `set` by core `core`. `sig` is a small partial signature of the
+	// line's identity (the caller's packed tag byte, or any stable hash
+	// byte); the adaptive policies use it to probe and maintain their
+	// ghost/history state, and to reset per-line frequency. For the
+	// static policies Fill is exactly Touch. Fill never allocates.
+	Fill(set, way, core int, sig uint8)
 	// TouchBatch applies a batch of deferred accesses in order, exactly
-	// as the equivalent sequence of Touch calls would. It exists so
+	// as the equivalent sequence of Touch (or, for records flagged
+	// FillRec, Fill) calls would. It exists so
 	// callers that defer recency (pseudo-LRU state tolerates late and
 	// even dropped touches) can drain a whole buffer through one call
 	// that stays on the policy's concrete type. TouchBatch never
@@ -193,6 +230,10 @@ func New(kind Kind, sets, ways, cores int, seed uint64) Policy {
 		return NewBTPolicy(sets, ways)
 	case Random:
 		return NewRandomPolicy(sets, ways, seed)
+	case AWRP:
+		return NewAWRPPolicy(sets, ways)
+	case ARC:
+		return NewARCPolicy(sets, ways)
 	default:
 		panic(fmt.Sprintf("plru: unknown kind %d", kind))
 	}

@@ -6,7 +6,10 @@ import (
 )
 
 func TestKindString(t *testing.T) {
-	cases := map[Kind]string{LRU: "LRU", NRU: "NRU", BT: "BT", Random: "Random"}
+	cases := map[Kind]string{
+		LRU: "LRU", NRU: "NRU", BT: "BT", Random: "Random",
+		AWRP: "AWRP", ARC: "ARC",
+	}
 	for k, want := range cases {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
@@ -18,7 +21,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestParseKind(t *testing.T) {
-	for _, name := range []string{"LRU", "NRU", "BT", "Random"} {
+	for _, name := range []string{"LRU", "NRU", "BT", "Random", "AWRP", "ARC"} {
 		k, err := ParseKind(name)
 		if err != nil {
 			t.Fatalf("ParseKind(%q): %v", name, err)
@@ -79,7 +82,7 @@ func TestWayMaskCountMatchesWaysLen(t *testing.T) {
 }
 
 func TestNewConstructsAllKinds(t *testing.T) {
-	for _, k := range []Kind{LRU, NRU, BT, Random} {
+	for _, k := range Kinds() {
 		p := New(k, 8, 16, 2, 1)
 		if p.Kind() != k {
 			t.Errorf("New(%v).Kind() = %v", k, p.Kind())
@@ -102,7 +105,7 @@ func TestNewUnknownKindPanics(t *testing.T) {
 // TestAllPoliciesVictimInMask exercises the shared Victim contract across
 // every policy: the returned way is always within the allowed mask.
 func TestAllPoliciesVictimInMask(t *testing.T) {
-	for _, k := range []Kind{LRU, NRU, BT, Random} {
+	for _, k := range Kinds() {
 		p := New(k, 4, 16, 2, 7)
 		masks := []WayMask{
 			Full(16),

@@ -35,6 +35,9 @@ func (p *RandomPolicy) Touch(set, way, core int) {}
 // TouchBatch is a no-op: random replacement keeps no recency state.
 func (p *RandomPolicy) TouchBatch(recs []TouchRec) {}
 
+// Fill is a no-op, like Touch.
+func (p *RandomPolicy) Fill(set, way, core int, sig uint8) {}
+
 // Invalidate is a no-op: there is no recency state to clear.
 func (p *RandomPolicy) Invalidate(set, way int) {}
 
