@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate bench-multicore bench-gate-server alloc-guard fuzz-smoke serve loadtest server-smoke fmt fmt-check vet staticcheck vulncheck docs-check ci
+.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate bench-multicore bench-gate-server alloc-guard fuzz-smoke serve loadtest server-smoke chaos-smoke fmt fmt-check vet staticcheck vulncheck docs-check ci
 
 build:
 	$(GO) build ./...
@@ -117,13 +117,24 @@ loadtest:
 # Server integration smoke: protocol conformance, in-process server
 # tests, and the exec-based daemon end-to-end (SIGTERM drain) under -race.
 server-smoke:
-	$(GO) test -race -count=1 ./internal/resp/ ./internal/server/ ./internal/loadgen/ ./cmd/cpacached/
+	$(GO) test -race -count=1 ./internal/resp/ ./internal/server/ ./internal/loadgen/ ./internal/faultinject/ ./cmd/cpacached/
+
+# Chaos lane: the fault-injection unit tests plus the exec-based chaos
+# smoke — a race-instrumented cpacached under injected accept errors,
+# latency stalls, partial writes and resets, with connection caps and
+# slow-client deadlines armed. Asserts the retrying load engine finishes
+# its full budget with zero lost acknowledged writes, over-cap connects
+# are refused, a client-triggered panic is contained, and the process
+# still drains cleanly.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/faultinject/
+	$(GO) test -race -count=1 -run '^TestDaemonChaosSmoke$$' -v ./cmd/cpacached/
 
 # The hot-path allocation guards (testing.AllocsPerRun) run without -race:
 # instrumentation skews the accounting. Alloc regressions fail here fast
 # even on hosts too noisy for ns/op comparisons.
 alloc-guard:
-	$(GO) test -run 'ZeroAlloc|Allocs' ./pkg/cpacache/ ./pkg/cpapart/
+	$(GO) test -run 'ZeroAlloc|Allocs' ./pkg/cpacache/ ./pkg/cpapart/ ./internal/server/
 
 # staticcheck / govulncheck run when installed and are skipped otherwise,
 # so `make ci` works in hermetic containers; the CI lint job always runs
@@ -152,4 +163,4 @@ vet:
 docs-check: vet
 	$(GO) run ./cmd/doccheck .
 
-ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache bench-gate server-smoke docs-check
+ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache bench-gate server-smoke chaos-smoke docs-check

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/resp"
+)
+
+// chaosClient is a minimal fault-tolerant RESP client for driving the
+// daemon through injected faults: one command per call, reconnecting
+// and retrying until the server acknowledges or the deadline expires.
+type chaosClient struct {
+	t    *testing.T
+	addr string
+	auth string
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+}
+
+func (c *chaosClient) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+func (c *chaosClient) dial() error {
+	c.close()
+	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	r, w := resp.NewReader(conn), resp.NewWriter(conn)
+	if c.auth != "" {
+		w.WriteCommandString("AUTH", c.auth)
+		if err := w.Flush(); err != nil {
+			conn.Close()
+			return err
+		}
+		rep, err := r.ReadReply()
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if rep.IsErr() {
+			conn.Close()
+			return fmt.Errorf("AUTH: %s", rep.Str)
+		}
+	}
+	c.conn, c.r, c.w = conn, r, w
+	return nil
+}
+
+// do sends one command and returns its reply, retrying through
+// connection faults until deadline. Error *replies* are returned to the
+// caller (they are acknowledgments); only transport errors retry.
+func (c *chaosClient) do(deadline time.Time, args ...string) (resp.Reply, error) {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if c.conn == nil {
+			if lastErr = c.dial(); lastErr != nil {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		c.conn.SetDeadline(time.Now().Add(2 * time.Second))
+		c.w.WriteCommandString(args...)
+		if lastErr = c.w.Flush(); lastErr != nil {
+			c.close()
+			continue
+		}
+		rep, err := c.r.ReadReply()
+		if err != nil {
+			lastErr = err
+			c.close()
+			continue
+		}
+		return rep, nil
+	}
+	return resp.Reply{}, fmt.Errorf("chaos client gave up: %v", lastErr)
+}
+
+// TestDaemonChaosSmoke is the chaos lane: boot the race-instrumented
+// daemon with fault injection (transient accept errors, latency stalls,
+// partial writes, resets) plus tight overload limits, then require full
+// recovery — the retrying load engine completes its budget, every
+// acknowledged write is readable afterwards, over-cap connects are
+// refused without harming admitted ones, a client-triggered panic is
+// contained, and the process still drains cleanly on SIGTERM.
+func TestDaemonChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon")
+	}
+	addr, cmd, logDone, logged := startDaemon(t,
+		"-shards", "4", "-sets", "256", "-ways", "8", "-policy", "bt",
+		"-tenant", "smoke:hunter2:8",
+		"-max-conns", "24",
+		"-read-timeout", "2s", "-write-timeout", "2s",
+		"-fault-spec", "seed=7,accept-err=0.2,latency=0.05:2ms,partial-write=0.03,reset=0.03",
+	)
+	if !strings.Contains(logged(), "FAULT INJECTION ACTIVE") {
+		t.Fatalf("fault spec not armed:\n%s", logged())
+	}
+
+	// Phase 1: the retrying load engine must complete its full budget
+	// through the fault storm. Run completing means every one of the
+	// 6000 requests was individually acknowledged (claimed-but-unacked
+	// requests go back into the budget and are retried).
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:     addr,
+		Conns:    4,
+		Pipeline: 8,
+		Requests: 6_000,
+		KeySpace: 500,
+		SetRatio: 0.3,
+		Auth:     "hunter2",
+
+		Reconnect:      true,
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("chaos loadgen: %v", err)
+	}
+	if res.Requests < 6_000 {
+		t.Fatalf("chaos run incomplete: %+v", res)
+	}
+	if res.Reconnects == 0 {
+		t.Fatalf("no reconnects over 6000 requests — faults not firing? %+v", res)
+	}
+	t.Logf("chaos loadgen: %d reqs, %d retried, %d reconnects, %d rate-limited, %d rejected",
+		res.Requests, res.RetriedOps, res.Reconnects, res.RateLimited, res.RejectedConns)
+
+	// Phase 2: acked-writes ledger. SET unique keys until each is
+	// individually acknowledged, then require every one readable with
+	// the exact value. The cache holds 4×256×8 = 8192 lines against
+	// ~700 keys total, so nothing is evicted: a lost acknowledged write
+	// here is a durability bug, not capacity pressure.
+	ledger := &chaosClient{t: t, addr: addr, auth: "hunter2"}
+	defer ledger.close()
+	const nKeys = 200
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 0; i < nKeys; i++ {
+		key, val := fmt.Sprintf("ack:%04d", i), fmt.Sprintf("val:%04d", i)
+		for {
+			rep, err := ledger.do(deadline, "SET", key, val)
+			if err != nil {
+				t.Fatalf("ledger SET %s: %v", key, err)
+			}
+			if !rep.IsErr() {
+				break // acknowledged
+			}
+		}
+	}
+	for i := 0; i < nKeys; i++ {
+		key, want := fmt.Sprintf("ack:%04d", i), fmt.Sprintf("val:%04d", i)
+		for {
+			rep, err := ledger.do(deadline, "GET", key)
+			if err != nil {
+				t.Fatalf("ledger GET %s: %v", key, err)
+			}
+			if rep.IsErr() {
+				continue // throttled or transient error reply: retry
+			}
+			if rep.Null || !bytes.Equal(rep.Str, []byte(want)) {
+				t.Fatalf("lost acknowledged write %s: got %+v, want %q", key, rep, want)
+			}
+			break
+		}
+	}
+
+	// Phase 3: connection-cap rejection. Open connections and hold them
+	// until one is refused with the max-clients error; admitted ones
+	// stay usable. Injected resets can free slots, so loop until the
+	// refusal is actually observed.
+	var held []net.Conn
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	sawRejection := false
+	for attempt := 0; attempt < 100 && !sawRejection; attempt++ {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		r, w := resp.NewReader(conn), resp.NewWriter(conn)
+		w.WriteCommandString("PING")
+		if err := w.Flush(); err != nil {
+			conn.Close()
+			continue
+		}
+		rep, err := r.ReadReply()
+		if err != nil {
+			conn.Close() // injected fault, not a verdict
+			continue
+		}
+		if rep.IsErr() && strings.HasPrefix(string(rep.Str), "ERR max number of clients") {
+			sawRejection = true
+			conn.Close()
+		} else {
+			held = append(held, conn)
+		}
+	}
+	if !sawRejection {
+		t.Fatal("never saw -ERR max number of clients while holding connections past -max-conns 24")
+	}
+	for _, c := range held {
+		c.Close()
+	}
+	held = nil
+
+	// Phase 4: panic containment. DEBUG PANIC must kill only its own
+	// connection; the daemon keeps serving and INFO reports the
+	// recovery plus the phase-3 rejections. An injected fault can
+	// swallow the command before dispatch, so re-send until the INFO
+	// counter actually moves.
+	pc := &chaosClient{t: t, addr: addr, auth: "hunter2"}
+	info := &chaosClient{t: t, addr: addr, auth: "hunter2"}
+	defer info.close()
+	pdeadline := time.Now().Add(60 * time.Second)
+	var infoText string
+	for time.Now().Before(pdeadline) {
+		if err := pc.dial(); err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		pc.w.WriteCommandString("DEBUG", "PANIC")
+		if err := pc.w.Flush(); err != nil {
+			pc.close()
+			continue
+		}
+		// Best-effort reply then close; the INFO counter is the proof.
+		pc.r.ReadReply()
+		pc.close()
+		rep, err := info.do(pdeadline, "INFO")
+		if err != nil {
+			t.Fatalf("INFO after panic: %v", err)
+		}
+		if !rep.IsErr() {
+			infoText = string(rep.Str)
+			if !strings.Contains(infoText, "panics_recovered:0") {
+				break
+			}
+		}
+	}
+	for _, want := range []string{"panics_recovered:", "rejected_connections:", "uptime_seconds:", "connected_clients:"} {
+		if !strings.Contains(infoText, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, infoText)
+		}
+	}
+	if strings.Contains(infoText, "panics_recovered:0") {
+		t.Fatalf("panic not counted:\n%s", infoText)
+	}
+	if strings.Contains(infoText, "rejected_connections:0") {
+		t.Fatalf("rejections not counted:\n%s", infoText)
+	}
+
+	// Phase 5: after all that abuse, the process is still healthy and
+	// drains cleanly.
+	info.close()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-logDone:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("cpacached stderr never closed after SIGTERM:\n%s", logged())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("cpacached exited dirty after the chaos run: %v\n%s", err, logged())
+	}
+	if !strings.Contains(logged(), "cpacached drained") {
+		t.Fatalf("drain never logged:\n%s", logged())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -69,6 +71,13 @@ func main() {
 		defaultTTL   = flag.Duration("default-ttl", 0, "TTL applied to SETs without EX/PX (0 = none)")
 		rebalance    = flag.Duration("auto-rebalance", 0, "background repartition interval (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight pipelines on shutdown")
+		maxConns     = flag.Int("max-conns", 0, "max concurrent client connections; over-cap connects get -ERR and close (0 = unlimited)")
+		maxPerTenant = flag.Int("max-conns-per-tenant", 0, "max concurrent connections per tenant (0 = unlimited)")
+		rateOps      = flag.Float64("rate-limit-ops", 0, "per-tenant command rate limit in ops/s; throttled commands get -BUSY (0 = unlimited)")
+		rateBytes    = flag.Float64("rate-limit-bytes", 0, "per-tenant request-payload rate limit in bytes/s (0 = unlimited)")
+		readTimeout  = flag.Duration("read-timeout", 0, "per-connection read/idle deadline; slow or idle clients are evicted (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-connection reply-flush deadline (0 = none)")
+		faultSpec    = flag.String("fault-spec", "", "TESTS ONLY: inject faults into the listener, e.g. seed=7,accept-err=0.05,latency=0.02:2ms,partial-write=0.02,reset=0.02")
 		tenants      tenantFlags
 	)
 	flag.Var(&tenants, "tenant", "tenant spec name:password[:ways[:budget-bytes]] (repeatable)")
@@ -78,21 +87,44 @@ func main() {
 	if err != nil {
 		log.Fatalf("cpacached: %v", err)
 	}
+	fault, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		log.Fatalf("cpacached: %v", err)
+	}
 	srv, err := server.New(server.Config{
-		Shards:           *shards,
-		Sets:             *sets,
-		Ways:             *ways,
-		Policy:           kind,
-		PolicyAutoSelect: *autoSelect,
-		Tenants:          tenants,
-		DefaultTTL:       *defaultTTL,
-		AutoRebalance:    *rebalance,
-		Logf:             log.Printf,
+		Shards:            *shards,
+		Sets:              *sets,
+		Ways:              *ways,
+		Policy:            kind,
+		PolicyAutoSelect:  *autoSelect,
+		Tenants:           tenants,
+		DefaultTTL:        *defaultTTL,
+		AutoRebalance:     *rebalance,
+		MaxConns:          *maxConns,
+		MaxConnsPerTenant: *maxPerTenant,
+		RateLimitOps:      *rateOps,
+		RateLimitBytes:    *rateBytes,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("cpacached: %v", err)
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cpacached: %v", err)
+	}
+	if fault.Enabled() {
+		log.Printf("cpacached FAULT INJECTION ACTIVE (tests only): %s", *faultSpec)
+		ln = faultinject.WrapListener(ln, fault)
+	}
+
+	// Shutdown runs off the signal goroutine; Serve returns as soon as
+	// the listener closes, so main must wait for the drain to finish
+	// before exiting or the final connections (and log lines) are cut off.
+	shutdownDone := make(chan error, 1)
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
@@ -100,13 +132,14 @@ func main() {
 		log.Printf("cpacached received %s, draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("cpacached drain incomplete: %v", err)
-			os.Exit(1)
-		}
+		shutdownDone <- srv.Shutdown(ctx)
 	}()
 
-	if err := srv.ListenAndServe(*addr); err != nil {
+	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("cpacached: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		log.Printf("cpacached drain incomplete: %v", err)
+		os.Exit(1)
 	}
 }

@@ -26,8 +26,10 @@ var listenRe = regexp.MustCompile(`cpacached listening on (\S+)`)
 // The returned log func reports everything the daemon wrote.
 func startDaemon(t *testing.T, args ...string) (addr string, proc *exec.Cmd, logDone <-chan struct{}, logged func() string) {
 	t.Helper()
+	// Race-instrument the daemon: the exec-based tests then assert
+	// race-freedom of the real serving path, not just the test harness.
 	bin := filepath.Join(t.TempDir(), "cpacached")
-	build := exec.Command("go", "build", "-o", bin, ".")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building cpacached: %v\n%s", err, out)
 	}

@@ -50,6 +50,8 @@ func main() {
 		ttl       = flag.Duration("ttl", 0, "SET TTL via PX (0 = none)")
 		auth      = flag.String("auth", "", "AUTH password")
 		seed      = flag.Int64("seed", 1, "RNG seed")
+		reconnect = flag.Bool("reconnect", false, "survive connection faults: reconnect with backoff and retry unacknowledged requests")
+		reqTO     = flag.Duration("request-timeout", 0, "per-batch I/O deadline; with -reconnect a timed-out batch is retried (0 = none)")
 		jsonOut   = flag.String("json", "", "write a benchmark-baseline JSON report to this file ('-' = stdout)")
 	)
 	flag.Parse()
@@ -69,6 +71,9 @@ func main() {
 		TTL:       *ttl,
 		Auth:      *auth,
 		Seed:      *seed,
+
+		Reconnect:      *reconnect,
+		RequestTimeout: *reqTO,
 	})
 	if err != nil {
 		log.Fatalf("cpaload: %v", err)
@@ -80,6 +85,10 @@ func main() {
 		res.Gets, res.Sets, 100*res.HitRate, res.ErrReplys)
 	fmt.Printf("  latency p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
 		res.P50, res.P90, res.P99, res.P999, res.Max)
+	if *reconnect || res.RateLimited > 0 || res.RejectedConns > 0 || res.RetriedOps > 0 || res.Reconnects > 0 {
+		fmt.Printf("  rate_limited=%d rejected_conns=%d retried_ops=%d reconnects=%d\n",
+			res.RateLimited, res.RejectedConns, res.RetriedOps, res.Reconnects)
+	}
 
 	if *jsonOut == "" {
 		return
@@ -102,11 +111,15 @@ func main() {
 			"zipf":       *zipf,
 		},
 		Results: map[string]float64{
-			"req_per_sec": res.ReqPerSec,
-			"hit_rate":    res.HitRate,
-			"p50_us":      float64(res.P50.Microseconds()),
-			"p99_us":      float64(res.P99.Microseconds()),
-			"p999_us":     float64(res.P999.Microseconds()),
+			"req_per_sec":    res.ReqPerSec,
+			"hit_rate":       res.HitRate,
+			"p50_us":         float64(res.P50.Microseconds()),
+			"p99_us":         float64(res.P99.Microseconds()),
+			"p999_us":        float64(res.P999.Microseconds()),
+			"rate_limited":   float64(res.RateLimited),
+			"rejected_conns": float64(res.RejectedConns),
+			"retried_ops":    float64(res.RetriedOps),
+			"reconnects":     float64(res.Reconnects),
 		},
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

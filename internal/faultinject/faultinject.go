@@ -1,0 +1,216 @@
+// Package faultinject wraps net.Listener and net.Conn with
+// deterministic, seeded fault injection for robustness testing:
+// transient accept errors, read/write latency stalls, partial writes,
+// and connection resets. cpacached wires it behind the -fault-spec
+// flag (tests only — the flag is loudly logged), and the chaos smoke
+// lane drives the retrying cpaload engine through an injected server
+// and asserts full recovery.
+//
+// Determinism: the listener's accept rolls come from one RNG seeded
+// with Spec.Seed, and each accepted connection gets its own RNG seeded
+// from Spec.Seed and its accept ordinal — so for a fixed sequence of
+// operations on a given connection, the fault pattern is reproducible
+// regardless of goroutine scheduling across connections.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spec describes the fault mix. The zero value injects nothing.
+type Spec struct {
+	// Seed feeds every RNG; runs with the same seed and the same
+	// per-connection operation sequences inject the same faults.
+	Seed int64
+	// AcceptErr is the probability one Accept call returns a transient
+	// error instead of accepting. The pending connection is not lost —
+	// it stays in the kernel backlog for a later Accept.
+	AcceptErr float64
+	// Latency is the probability one Read or Write stalls for
+	// LatencyDur before touching the socket.
+	Latency    float64
+	LatencyDur time.Duration
+	// PartialWrite is the probability one Write delivers only a strict
+	// prefix, then closes the connection and reports an error.
+	PartialWrite float64
+	// Reset is the probability one Read or Write closes the connection
+	// and reports an error without touching the socket.
+	Reset float64
+}
+
+// Enabled reports whether the spec injects any fault at all.
+func (sp Spec) Enabled() bool {
+	return sp.AcceptErr > 0 || sp.Latency > 0 || sp.PartialWrite > 0 || sp.Reset > 0
+}
+
+// Parse reads a spec string of comma-separated key=value fields:
+//
+//	seed=7,accept-err=0.05,latency=0.02:2ms,partial-write=0.02,reset=0.02
+//
+// latency takes probability:duration; the other fault keys take a
+// probability in [0,1]. An empty string parses to the zero Spec.
+func Parse(s string) (Spec, error) {
+	var sp Spec
+	if s == "" {
+		return sp, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultinject: field %q is not key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: bad seed %q", val)
+			}
+			sp.Seed = n
+		case "accept-err":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: %s: %w", key, err)
+			}
+			sp.AcceptErr = p
+		case "latency":
+			probStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Spec{}, fmt.Errorf("faultinject: latency wants probability:duration, got %q", val)
+			}
+			p, err := parseProb(probStr)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: latency: %w", err)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("faultinject: bad latency duration %q", durStr)
+			}
+			sp.Latency, sp.LatencyDur = p, d
+		case "partial-write":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: %s: %w", key, err)
+			}
+			sp.PartialWrite = p
+		case "reset":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: %s: %w", key, err)
+			}
+			sp.Reset = p
+		default:
+			return Spec{}, fmt.Errorf("faultinject: unknown field %q", key)
+		}
+	}
+	return sp, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("bad probability %q (want 0..1)", s)
+	}
+	return p, nil
+}
+
+// ErrInjected is the cause wrapped by every fault this package injects
+// into an established connection.
+var ErrInjected = errors.New("faultinject: injected connection fault")
+
+// ErrInjectedAccept is the transient error injected into Accept; a
+// robust accept loop backs off and retries it.
+var ErrInjectedAccept = errors.New("faultinject: injected accept error")
+
+// WrapListener returns ln with sp's faults injected into Accept and
+// into every connection it hands out.
+func WrapListener(ln net.Listener, sp Spec) net.Listener {
+	return &listener{Listener: ln, spec: sp, rng: rand.New(rand.NewSource(sp.Seed))}
+}
+
+type listener struct {
+	net.Listener
+	spec  Spec
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns int64
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	fail := l.rng.Float64() < l.spec.AcceptErr
+	var seed int64
+	if !fail {
+		l.conns++
+		// A distinct, order-derived seed per connection keeps each
+		// conn's fault stream independent and reproducible.
+		seed = l.spec.Seed + 1000003*l.conns
+	}
+	l.mu.Unlock()
+	if fail {
+		return nil, ErrInjectedAccept
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, spec: l.spec, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+type conn struct {
+	net.Conn
+	spec Spec
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (c *conn) roll(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	v := c.rng.Float64()
+	c.mu.Unlock()
+	return v < prob
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if c.roll(c.spec.Latency) {
+		time.Sleep(c.spec.LatencyDur)
+	}
+	if c.roll(c.spec.Reset) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("read: injected reset: %w", ErrInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.roll(c.spec.Latency) {
+		time.Sleep(c.spec.LatencyDur)
+	}
+	if c.roll(c.spec.Reset) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("write: injected reset: %w", ErrInjected)
+	}
+	if len(p) > 1 && c.roll(c.spec.PartialWrite) {
+		c.mu.Lock()
+		n := 1 + c.rng.Intn(len(p)-1)
+		c.mu.Unlock()
+		nw, err := c.Conn.Write(p[:n])
+		if err != nil {
+			return nw, err
+		}
+		// Close so the peer sees the truncation promptly instead of
+		// blocking for bytes that will never come.
+		c.Conn.Close()
+		return nw, fmt.Errorf("write: injected partial write (%d of %d bytes): %w", nw, len(p), ErrInjected)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	sp, err := Parse("seed=7,accept-err=0.25,latency=0.1:2ms,partial-write=0.05,reset=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Seed: 7, AcceptErr: 0.25, Latency: 0.1, LatencyDur: 2 * time.Millisecond, PartialWrite: 0.05, Reset: 0.02}
+	if sp != want {
+		t.Fatalf("Parse = %+v, want %+v", sp, want)
+	}
+	if !sp.Enabled() {
+		t.Fatal("spec with faults reports Enabled() == false")
+	}
+
+	sp, err = Parse("")
+	if err != nil || sp != (Spec{}) || sp.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", sp, err)
+	}
+
+	for _, bad := range []string{
+		"wat", "seed", "seed=x", "accept-err=2", "accept-err=-0.1",
+		"latency=0.5", "latency=0.5:xyz", "latency=0.5:-1s", "bogus=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// pipeListener turns a pre-dialed pair into a one-shot listener so conn
+// faults can be tested without real TCP.
+func tcpPair(t *testing.T, sp Spec) (server net.Conn, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fl := WrapListener(ln, sp)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = fl.Accept()
+	}()
+	client, derr := net.Dial("tcp", ln.Addr().String())
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close(); client.Close() })
+	return server, client
+}
+
+func TestInjectedAcceptError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fl := WrapListener(ln, Spec{Seed: 1, AcceptErr: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := fl.Accept(); !errors.Is(err, ErrInjectedAccept) {
+			t.Fatalf("Accept %d: err = %v, want ErrInjectedAccept", i, err)
+		}
+	}
+}
+
+// TestAcceptPatternDeterministic pins that the sequence of injected
+// accept failures depends only on the seed and the call count.
+func TestAcceptPatternDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		fl := WrapListener(ln, Spec{Seed: seed, AcceptErr: 0.5}).(*listener)
+		out := make([]bool, 32)
+		for i := range out {
+			// Probe the roll exactly as Accept does, without needing a
+			// dialer to feed real connections.
+			fl.mu.Lock()
+			out[i] = fl.rng.Float64() < fl.spec.AcceptErr
+			fl.mu.Unlock()
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at roll %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestInjectedReset(t *testing.T) {
+	server, client := tcpPair(t, Spec{Seed: 3, Reset: 1})
+	buf := make([]byte, 16)
+	if _, err := server.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Read err = %v, want ErrInjected", err)
+	}
+	// The underlying socket really closed: the peer sees EOF.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(buf); err != io.EOF {
+		t.Fatalf("peer read after reset: %v, want EOF", err)
+	}
+}
+
+func TestInjectedPartialWrite(t *testing.T) {
+	server, client := tcpPair(t, Spec{Seed: 5, PartialWrite: 1})
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	n, err := server.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write err = %v, want ErrInjected", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("partial write delivered %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	// The peer receives exactly the prefix, then EOF.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, rerr := io.ReadAll(client)
+	if rerr != nil {
+		t.Fatalf("peer read: %v", rerr)
+	}
+	if len(got) != n {
+		t.Fatalf("peer got %d bytes, want the %d-byte prefix", len(got), n)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d corrupted: %x != %x", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestInjectedLatency(t *testing.T) {
+	server, client := tcpPair(t, Spec{Seed: 9, Latency: 1, LatencyDur: 50 * time.Millisecond})
+	go func() {
+		client.Write([]byte("x"))
+	}()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("read returned in %v, want >= 50ms injected stall", d)
+	}
+}
+
+// TestNoFaultsPassthrough checks the zero spec is a transparent proxy.
+func TestNoFaultsPassthrough(t *testing.T) {
+	server, client := tcpPair(t, Spec{})
+	go client.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(server, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("passthrough read: %q, %v", buf, err)
+	}
+	go server.Write([]byte("world"))
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "world" {
+		t.Fatalf("passthrough write: %q, %v", buf, err)
+	}
+}

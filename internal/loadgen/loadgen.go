@@ -8,9 +8,11 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +35,19 @@ type Config struct {
 	TTL       time.Duration
 	Auth      string // AUTH password sent on connect ("" = none)
 	Seed      int64  // base RNG seed (default 1); conn i uses Seed+i
+
+	// Reconnect enables fault-tolerant mode: a connection error (reset,
+	// timeout, server restart, max-clients rejection) triggers a
+	// reconnect under exponential backoff with jitter, and every
+	// request that was claimed but never acknowledged goes back into
+	// the shared budget to be retried — so a completed run means every
+	// request was individually acknowledged, faults or not.
+	Reconnect bool
+	// RequestTimeout bounds one pipelined batch round trip, write to
+	// last reply (0 = none). Expiry counts as a connection error.
+	RequestTimeout time.Duration
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
 }
 
 func (c *Config) withDefaults() {
@@ -70,6 +85,17 @@ type Result struct {
 	Elapsed   time.Duration `json:"elapsed_ns"`
 	ReqPerSec float64       `json:"req_per_sec"`
 	HitRate   float64       `json:"hit_rate"`
+
+	// Overload accounting (nonzero only against a faulty or throttling
+	// server): RateLimited counts -BUSY refusals, RejectedConns counts
+	// max-clients rejections, RetriedOps counts requests returned to
+	// the budget after a refusal or a dead connection, Reconnects
+	// counts re-dials. Refused/retried requests are not in Requests;
+	// a request counts once, when acknowledged.
+	RateLimited   int `json:"rate_limited"`
+	RejectedConns int `json:"rejected_conns"`
+	RetriedOps    int `json:"retried_ops"`
+	Reconnects    int `json:"reconnects"`
 
 	// Latency percentiles are per-request, measured as the round trip
 	// of the pipelined batch the request rode in (memtier convention).
@@ -141,6 +167,8 @@ func (h *hist) percentile(q float64) time.Duration {
 
 type workerStats struct {
 	gets, sets, hits, misses, errs int
+	rateLimited, rejectedConns     int
+	retried, reconnects            int
 	lat                            hist
 }
 
@@ -183,22 +211,30 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		total.hits += stats[i].hits
 		total.misses += stats[i].misses
 		total.errs += stats[i].errs
+		total.rateLimited += stats[i].rateLimited
+		total.rejectedConns += stats[i].rejectedConns
+		total.retried += stats[i].retried
+		total.reconnects += stats[i].reconnects
 		total.lat.merge(&stats[i].lat)
 	}
 	n := total.gets + total.sets
 	res := Result{
-		Requests:  n,
-		Gets:      total.gets,
-		Sets:      total.sets,
-		Hits:      total.hits,
-		Misses:    total.misses,
-		ErrReplys: total.errs,
-		Elapsed:   elapsed,
-		P50:       total.lat.percentile(0.50),
-		P90:       total.lat.percentile(0.90),
-		P99:       total.lat.percentile(0.99),
-		P999:      total.lat.percentile(0.999),
-		Max:       total.lat.max,
+		Requests:      n,
+		Gets:          total.gets,
+		Sets:          total.sets,
+		Hits:          total.hits,
+		Misses:        total.misses,
+		ErrReplys:     total.errs,
+		RateLimited:   total.rateLimited,
+		RejectedConns: total.rejectedConns,
+		RetriedOps:    total.retried,
+		Reconnects:    total.reconnects,
+		Elapsed:       elapsed,
+		P50:           total.lat.percentile(0.50),
+		P90:           total.lat.percentile(0.90),
+		P99:           total.lat.percentile(0.99),
+		P999:          total.lat.percentile(0.999),
+		Max:           total.lat.max,
 	}
 	if elapsed > 0 {
 		res.ReqPerSec = float64(n) / elapsed.Seconds()
@@ -209,44 +245,56 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// runConn drives one connection: claim a batch from the shared request
-// budget, write it pipelined, read the replies, repeat.
+// claim takes up to max requests from the shared budget without ever
+// driving it negative, so requeued (retried) requests stay claimable.
+func claim(remaining *atomic.Int64, max int) int {
+	for {
+		cur := remaining.Load()
+		if cur <= 0 {
+			return 0
+		}
+		n := int64(max)
+		if cur < n {
+			n = cur
+		}
+		if remaining.CompareAndSwap(cur, cur-n) {
+			return int(n)
+		}
+	}
+}
+
+// requeue returns n unacknowledged requests to the budget to be
+// claimed — and so acknowledged — again.
+func requeue(remaining *atomic.Int64, st *workerStats, n int) {
+	if n > 0 {
+		remaining.Add(int64(n))
+		st.retried += n
+	}
+}
+
+// permanentError marks failures retrying cannot fix (AUTH refusals);
+// it aborts the run even in Reconnect mode.
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// isRejection recognizes the server's connection-cap refusal, which
+// arrives as an error reply just before the server closes the socket.
+func isRejection(msg []byte) bool {
+	return strings.HasPrefix(string(msg), "ERR max number of clients")
+}
+
+// runConn drives one connection slot. Without Reconnect the first
+// session error ends the run, as a benchmark wants. With Reconnect the
+// slot survives the server's faults: every failed session requeues its
+// in-flight requests, then re-dials under exponential backoff with
+// full jitter (so a fleet of reconnecting clients does not stampede
+// the accept loop in lockstep).
 func runConn(ctx context.Context, cfg Config, id int64, remaining *atomic.Int64, st *workerStats) error {
-	conn, err := net.Dial("tcp", cfg.Addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	r := resp.NewReader(conn)
-	w := resp.NewWriter(conn)
-
-	if cfg.Auth != "" {
-		w.WriteCommandString("AUTH", cfg.Auth)
-		if err := w.Flush(); err != nil {
-			return err
-		}
-		rep, err := r.ReadReply()
-		if err != nil {
-			return err
-		}
-		if rep.IsErr() {
-			return fmt.Errorf("AUTH: %s", rep.Str)
-		}
-	}
-
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
 	var zipf *rand.Zipf
 	if cfg.ZipfS > 1 {
 		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.KeySpace-1))
-	}
-	nextKey := func() string {
-		var k uint64
-		if zipf != nil {
-			k = zipf.Uint64()
-		} else {
-			k = uint64(rng.Intn(cfg.KeySpace))
-		}
-		return fmt.Sprintf("key:%010d", k)
 	}
 	value := make([]byte, cfg.ValueSize)
 	rng.Read(value)
@@ -254,54 +302,169 @@ func runConn(ctx context.Context, cfg Config, id int64, remaining *atomic.Int64,
 	if cfg.TTL > 0 {
 		ttlArg = []byte(fmt.Sprintf("%d", cfg.TTL.Milliseconds()))
 	}
+	sess := &session{cfg: cfg, rng: rng, zipf: zipf, value: value, ttlArg: ttlArg,
+		remaining: remaining, st: st, isGet: make([]bool, cfg.Pipeline)}
 
-	isGet := make([]bool, cfg.Pipeline)
+	var backoff time.Duration
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
-		batch := int(remaining.Add(-int64(cfg.Pipeline)) + int64(cfg.Pipeline))
-		if batch <= 0 {
-			return nil
+		progressed, err := sess.run(ctx)
+		if err == nil {
+			return nil // budget exhausted or ctx canceled
 		}
-		if batch > cfg.Pipeline {
-			batch = cfg.Pipeline
+		var perm *permanentError
+		if errors.As(err, &perm) || !cfg.Reconnect {
+			return err
+		}
+		st.reconnects++
+		if progressed {
+			backoff = 0
+		}
+		if backoff == 0 {
+			backoff = time.Millisecond
+		} else if backoff *= 2; backoff > 200*time.Millisecond {
+			backoff = 200 * time.Millisecond
+		}
+		delay := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+	}
+}
+
+// session is one connection's worth of load-driving state, reused
+// across reconnects so key/op sequences stay on the worker's RNG.
+type session struct {
+	cfg       Config
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	value     []byte
+	ttlArg    []byte
+	remaining *atomic.Int64
+	st        *workerStats
+	isGet     []bool
+}
+
+func (s *session) nextKey() string {
+	var k uint64
+	if s.zipf != nil {
+		k = s.zipf.Uint64()
+	} else {
+		k = uint64(s.rng.Intn(s.cfg.KeySpace))
+	}
+	return fmt.Sprintf("key:%010d", k)
+}
+
+// run dials once and drives batches until the budget drains, the
+// context cancels (both return nil), or the connection fails (the
+// error, with everything unacknowledged already requeued). progressed
+// reports whether any request was acknowledged, which resets the
+// caller's backoff.
+func (s *session) run(ctx context.Context) (progressed bool, err error) {
+	cfg := s.cfg
+	st := s.st
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Addr, dialTimeout)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+
+	if cfg.Auth != "" {
+		if cfg.RequestTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(cfg.RequestTimeout))
+		}
+		w.WriteCommandString("AUTH", cfg.Auth)
+		if err := w.Flush(); err != nil {
+			return false, err
+		}
+		rep, err := r.ReadReply()
+		if err != nil {
+			return false, err
+		}
+		if rep.IsErr() {
+			if isRejection(rep.Str) {
+				st.rejectedConns++
+				return false, fmt.Errorf("AUTH: %s", rep.Str)
+			}
+			return false, &permanentError{msg: fmt.Sprintf("AUTH: %s", rep.Str)}
+		}
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return progressed, nil
+		}
+		batch := claim(s.remaining, cfg.Pipeline)
+		if batch <= 0 {
+			return progressed, nil
+		}
+		acked := 0
+		if cfg.RequestTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(cfg.RequestTimeout))
 		}
 		t0 := time.Now()
 		for i := 0; i < batch; i++ {
-			key := nextKey()
-			if rng.Float64() < cfg.SetRatio {
-				isGet[i] = false
-				if ttlArg != nil {
-					w.WriteCommand([]byte("SET"), []byte(key), value, []byte("PX"), ttlArg)
+			key := s.nextKey()
+			if s.rng.Float64() < cfg.SetRatio {
+				s.isGet[i] = false
+				if s.ttlArg != nil {
+					w.WriteCommand([]byte("SET"), []byte(key), s.value, []byte("PX"), s.ttlArg)
 				} else {
-					w.WriteCommand([]byte("SET"), []byte(key), value)
+					w.WriteCommand([]byte("SET"), []byte(key), s.value)
 				}
 			} else {
-				isGet[i] = true
+				s.isGet[i] = true
 				w.WriteCommand([]byte("GET"), []byte(key))
 			}
 		}
 		if err := w.Flush(); err != nil {
-			return err
+			requeue(s.remaining, st, batch-acked)
+			return progressed, err
 		}
 		for i := 0; i < batch; i++ {
 			rep, err := r.ReadReply()
 			if err != nil {
-				return err
+				requeue(s.remaining, st, batch-acked)
+				return progressed, err
 			}
+			acked++
 			switch {
 			case rep.IsErr():
-				st.errs++
-			case isGet[i]:
+				switch msg := rep.Str; {
+				case strings.HasPrefix(string(msg), "BUSY"):
+					// Rate limited: the op did not execute; requeue it.
+					st.rateLimited++
+					requeue(s.remaining, st, 1)
+				case isRejection(msg):
+					// The accept-time cap rejection is not a reply to
+					// our command — the op never executed.
+					st.rejectedConns++
+					requeue(s.remaining, st, 1)
+				default:
+					st.errs++
+					progressed = true
+				}
+			case s.isGet[i]:
 				st.gets++
 				if rep.Null {
 					st.misses++
 				} else {
 					st.hits++
 				}
+				progressed = true
 			default:
 				st.sets++
+				progressed = true
 			}
 		}
 		st.lat.add(time.Since(t0), uint64(batch))

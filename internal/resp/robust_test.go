@@ -1,0 +1,203 @@
+package resp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestLimitBoundaries pins the limit comparisons as inclusive: a frame
+// exactly at a cap parses, one byte over is refused. An off-by-one here
+// either rejects legal traffic or lets an attacker buy one count more
+// memory than configured.
+func TestLimitBoundaries(t *testing.T) {
+	lim := Limits{MaxArrayLen: 4, MaxBulkLen: 16, MaxInlineLen: 64}
+
+	// Array of exactly MaxArrayLen elements.
+	atArray := "*4\r\n$1\r\na\r\n$1\r\nb\r\n$1\r\nc\r\n$1\r\nd\r\n"
+	got := readAllCommands(t, atArray, lim)
+	if len(got) != 1 || got[0].err != nil || len(got[0].args) != 4 {
+		t.Fatalf("array at limit: %+v", got)
+	}
+
+	// Bulk of exactly MaxBulkLen bytes.
+	atBulk := fmt.Sprintf("*2\r\n$3\r\nSET\r\n$16\r\n%s\r\n", strings.Repeat("v", 16))
+	got = readAllCommands(t, atBulk, lim)
+	if len(got) != 1 || got[0].err != nil || got[0].args[1] != strings.Repeat("v", 16) {
+		t.Fatalf("bulk at limit: %+v", got)
+	}
+
+	// Inline line of exactly MaxInlineLen payload bytes (the limit is
+	// applied after the CRLF is trimmed).
+	atInline := "PING " + strings.Repeat("x", 64-len("PING ")) + "\r\n"
+	got = readAllCommands(t, atInline, lim)
+	if len(got) != 1 || got[0].err != nil {
+		t.Fatalf("inline at limit: %+v", got)
+	}
+
+	// One over each cap is a protocol error that resyncs to the next
+	// command.
+	for name, input := range map[string]string{
+		"array":  "*5\r\n$1\r\na\r\n$1\r\nb\r\n$1\r\nc\r\n$1\r\nd\r\n$1\r\ne\r\nPING\r\n",
+		"bulk":   fmt.Sprintf("*2\r\n$3\r\nSET\r\n$17\r\n%s\r\nPING\r\n", strings.Repeat("v", 17)),
+		"inline": strings.Repeat("x", 65) + "\r\nPING\r\n",
+	} {
+		got := readAllCommands(t, input, lim)
+		if len(got) != 2 || got[0].err == nil || got[1].err != nil || got[1].args[0] != "PING" {
+			t.Fatalf("%s one over limit: %+v", name, got)
+		}
+	}
+}
+
+// TestHugeDeclaredBulkTruncated drives the constant-memory discard path
+// into EOF: an attacker declares a bulk far past the cap but hangs up
+// mid-discard. The reader must report end-of-stream, not block or
+// buffer the declared size.
+func TestHugeDeclaredBulkTruncated(t *testing.T) {
+	lim := Limits{MaxArrayLen: 4, MaxBulkLen: 16, MaxInlineLen: 64}
+	input := "*2\r\n$3\r\nGET\r\n$1000000\r\n" + strings.Repeat("z", 100) // hangs up 999900 bytes early
+	r := NewReaderLimits(strings.NewReader(input), lim)
+	for i := 0; i < 10; i++ {
+		_, err := r.ReadCommand()
+		if err == nil {
+			t.Fatal("truncated oversized bulk parsed as a command")
+		}
+		if IsProtocol(err) {
+			continue // the over-limit report; the discard continues next call
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Fatalf("want EOF-class error, got %v", err)
+		}
+		return
+	}
+	t.Fatal("reader never reached end-of-stream on a truncated discard")
+}
+
+// TestTruncationAtEveryPosition cuts a valid two-command stream at
+// every byte offset: parsing must never panic, never fabricate a
+// command that was not fully received, and must report a terminal
+// (non-protocol) error at or before the cut.
+func TestTruncationAtEveryPosition(t *testing.T) {
+	lim := Limits{MaxArrayLen: 4, MaxBulkLen: 16, MaxInlineLen: 64}
+	full := "*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$5\r\nhello\r\n*2\r\n$3\r\nGET\r\n$2\r\nk1\r\n"
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReaderLimits(strings.NewReader(full[:cut]), lim)
+		var cmds int
+		for {
+			args, err := r.ReadCommand()
+			if err == nil {
+				cmds++
+				if cmds > 2 {
+					t.Fatalf("cut=%d: more commands than the stream holds", cut)
+				}
+				// Any surfaced command must be one of the two complete ones.
+				cmd := string(args[0])
+				if cmd != "SET" && cmd != "GET" {
+					t.Fatalf("cut=%d: fabricated command %q", cut, cmd)
+				}
+				continue
+			}
+			if IsProtocol(err) {
+				t.Fatalf("cut=%d: truncation misreported as protocol error %v", cut, err)
+			}
+			break
+		}
+		// A cut inside the first frame must surface zero commands; a cut
+		// inside the second, exactly one.
+		const firstLen = len("*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$5\r\nhello\r\n")
+		wantCmds := 0
+		if cut >= firstLen {
+			wantCmds = 1
+		}
+		if cmds != wantCmds {
+			t.Fatalf("cut=%d: surfaced %d commands, want %d", cut, cmds, wantCmds)
+		}
+	}
+}
+
+// TestReadReplyTruncated does the same for the client-side reply
+// parser across every reply kind.
+func TestReadReplyTruncated(t *testing.T) {
+	replies := []string{
+		"+OK\r\n",
+		"-ERR boom\r\n",
+		":42\r\n",
+		"$5\r\nhello\r\n",
+		"$-1\r\n",
+		"*2\r\n$1\r\na\r\n:7\r\n",
+		"*-1\r\n",
+	}
+	for _, full := range replies {
+		// The complete reply parses.
+		if _, err := NewReader(strings.NewReader(full)).ReadReply(); err != nil {
+			t.Fatalf("%q: %v", full, err)
+		}
+		// Every strict prefix fails with an EOF-class error, no panic.
+		for cut := 0; cut < len(full); cut++ {
+			_, err := NewReader(strings.NewReader(full[:cut])).ReadReply()
+			if err == nil {
+				t.Fatalf("%q cut at %d parsed", full, cut)
+			}
+		}
+	}
+}
+
+// shortWriter accepts at most cap bytes total, then reports a write
+// error — the shape of a peer that hung up mid-reply.
+type shortWriter struct {
+	cap     int
+	written int
+}
+
+var errConnGone = errors.New("connection reset by peer")
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if w.written >= w.cap {
+		return 0, errConnGone
+	}
+	n := len(p)
+	if w.written+n > w.cap {
+		n = w.cap - w.written
+		w.written += n
+		return n, errConnGone
+	}
+	w.written += n
+	return n, nil
+}
+
+// stutterWriter reports fewer bytes than given with a nil error —
+// a buggy transport. bufio must turn that into io.ErrShortWrite
+// rather than silently dropping reply bytes.
+type stutterWriter struct{}
+
+func (stutterWriter) Write(p []byte) (int, error) {
+	if len(p) > 1 {
+		return len(p) / 2, nil
+	}
+	return len(p), nil
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	// Error mid-flush: Flush surfaces it, and the writer stays failed —
+	// later flushes must re-report rather than pretend success.
+	w := NewWriter(&shortWriter{cap: 10})
+	for i := 0; i < 100; i++ {
+		w.Bulk([]byte("0123456789abcdef"))
+	}
+	if err := w.Flush(); !errors.Is(err, errConnGone) {
+		t.Fatalf("Flush = %v, want errConnGone", err)
+	}
+	w.SimpleString("OK")
+	if err := w.Flush(); err == nil {
+		t.Fatal("writer forgot its error after a failed flush")
+	}
+
+	// n < len(p) with nil error: the bufio layer must flag the lie.
+	w2 := NewWriter(stutterWriter{})
+	w2.Bulk(make([]byte, 8192)) // larger than the internal buffer forces real writes
+	if err := w2.Flush(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Flush = %v, want io.ErrShortWrite", err)
+	}
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Token-bucket admission control for the per-command hot path. The
+// bucket is GCRA-shaped: a single atomic word holds the theoretical
+// arrival time (TAT) of the next conforming request, so admitting a
+// command is one load, one comparison and one CAS — no locks, no
+// allocation — and every connection of a tenant can share the same
+// bucket without contention beyond the CAS itself.
+
+// tokenBucket admits n tokens at a steady rate with a bounded burst.
+// The zero value admits everything (unlimited).
+type tokenBucket struct {
+	interval int64 // ns between tokens; 0 = unlimited
+	tau      int64 // burst tolerance in ns (burst × interval)
+	tat      atomic.Int64
+}
+
+// init configures the bucket for rate tokens/s with the given burst
+// capacity. rate <= 0 leaves the bucket unlimited.
+func (b *tokenBucket) init(rate, burst float64) {
+	if rate <= 0 {
+		return
+	}
+	b.interval = int64(float64(time.Second) / rate)
+	if b.interval < 1 {
+		b.interval = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b.tau = int64(burst * float64(b.interval))
+}
+
+// take admits n tokens at time now (UnixNano) or reports the bucket
+// exhausted. Rejected requests consume nothing, so a throttled client
+// that backs off is not punished for having asked.
+func (b *tokenBucket) take(now, n int64) bool {
+	if b.interval == 0 {
+		return true
+	}
+	cost := n * b.interval
+	for {
+		tat := b.tat.Load()
+		t := tat
+		if now > t {
+			t = now
+		}
+		t += cost
+		if t-now > b.tau {
+			return false
+		}
+		if b.tat.CompareAndSwap(tat, t) {
+			return true
+		}
+	}
+}
+
+// tenantLimiter is one tenant's admission state: an ops/s bucket and a
+// request-bytes/s bucket, padded so adjacent tenants' CAS traffic does
+// not share a cache line.
+type tenantLimiter struct {
+	ops   tokenBucket
+	bytes tokenBucket
+	_     [16]byte
+}
+
+// init configures per-tenant limits; either rate may be 0 (unlimited).
+// Bursts default to one second's worth, floored so shallow limits still
+// admit a pipelined batch (32 ops) or one large command (64 KiB).
+func (l *tenantLimiter) init(opsRate, bytesRate float64) {
+	opsBurst := opsRate
+	if opsBurst < 32 {
+		opsBurst = 32
+	}
+	l.ops.init(opsRate, opsBurst)
+	bytesBurst := bytesRate
+	if bytesBurst < 64<<10 {
+		bytesBurst = 64 << 10
+	}
+	l.bytes.init(bytesRate, bytesBurst)
+}
+
+// admit charges one command carrying nbytes of request payload. The
+// buckets are charged in order; a command that passes ops but fails
+// bytes has spent its op token — refunding would cost a second CAS
+// pass on every admission and the error is bounded at one token per
+// rejection.
+func (l *tenantLimiter) admit(now int64, nbytes int) bool {
+	return l.ops.take(now, 1) && l.bytes.take(now, int64(nbytes))
+}
+
+// argsBytes is the admission size of a command: the sum of its argument
+// lengths, i.e. the attacker-controlled payload it carried.
+func argsBytes(args [][]byte) int {
+	n := 0
+	for _, a := range args {
+		n += len(a)
+	}
+	return n
+}

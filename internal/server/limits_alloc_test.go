@@ -1,0 +1,49 @@
+// Allocation guards are meaningless under the race detector's
+// instrumented allocator, so this file is excluded from -race runs.
+
+//go:build !race
+
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAdmissionZeroAlloc pins the rate-limit admission path at zero
+// allocations per command: it runs on every dispatch, so a single
+// stray allocation would show up as GC pressure at full load.
+func TestAdmissionZeroAlloc(t *testing.T) {
+	var l tenantLimiter
+	l.init(1e6, 64<<20)
+	args := [][]byte{[]byte("SET"), []byte("key:0000000001"), make([]byte, 128)}
+	now := time.Now().UnixNano()
+	avg := testing.AllocsPerRun(1000, func() {
+		now += int64(time.Microsecond)
+		if !l.admit(now, argsBytes(args)) {
+			t.Fatal("admission refused under its configured rate")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("admit allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestAdmissionZeroAllocRejected pins the rejection path too — an
+// overloaded server must not allocate while saying no.
+func TestAdmissionZeroAllocRejected(t *testing.T) {
+	var l tenantLimiter
+	l.init(1, 0)
+	args := [][]byte{[]byte("GET"), []byte("k")}
+	now := time.Now().UnixNano()
+	for l.admit(now, argsBytes(args)) {
+	} // drain the burst
+	avg := testing.AllocsPerRun(1000, func() {
+		if l.admit(now, argsBytes(args)) {
+			t.Fatal("admission granted past the burst with no time passing")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("rejecting admit allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resp"
+	"repro/pkg/plru"
+)
+
+// infoCounter pulls one integer field out of an INFO reply.
+func infoCounter(t *testing.T, c *client, field string) int64 {
+	t.Helper()
+	rep := c.do("INFO")
+	if rep.Kind != resp.KindBulk {
+		t.Fatalf("INFO => %+v", rep)
+	}
+	for _, line := range strings.Split(string(rep.Str), "\n") {
+		if v, ok := strings.CutPrefix(strings.TrimSpace(line), field+":"); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				t.Fatalf("INFO %s:%q: %v", field, v, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("INFO has no field %q:\n%s", field, rep.Str)
+	return 0
+}
+
+// dialRaw opens a connection without registering a cleanup-time Fatal,
+// for tests that expect the server to close it.
+func dialRaw(t *testing.T, s *Server) (net.Conn, *resp.Reader, *resp.Writer) {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, resp.NewReader(conn), resp.NewWriter(conn)
+}
+
+func TestMaxConnsRejection(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU, MaxConns: 2})
+
+	c1 := dial(t, s)
+	c2 := dial(t, s)
+	c1.expectSimple("PONG", "PING")
+	c2.expectSimple("PONG", "PING")
+
+	// Third connect: refused with the redis-compatible error, then closed.
+	conn, r, _ := dialRaw(t, s)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	rep, err := r.ReadReply()
+	if err != nil {
+		t.Fatalf("reading rejection: %v", err)
+	}
+	if !rep.IsErr() || string(rep.Str) != "ERR max number of clients reached" {
+		t.Fatalf("over-cap connect => %+v, want -ERR max number of clients reached", rep)
+	}
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("rejected connection left open")
+	}
+	if got := infoCounter(t, c1, "rejected_connections"); got != 1 {
+		t.Fatalf("rejected_connections = %d, want 1", got)
+	}
+
+	// The admitted connections were untouched.
+	c1.expectSimple("OK", "SET", "k", "v")
+	c2.expectBulk("v", "GET", "k")
+
+	// Closing one frees its slot; a retry gets in. The release happens
+	// after the server notices the close, so poll.
+	c2.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		r, w := resp.NewReader(conn), resp.NewWriter(conn)
+		w.WriteCommandString("PING")
+		if err := w.Flush(); err == nil {
+			if rep, err := r.ReadReply(); err == nil && rep.Kind == resp.KindSimple && string(rep.Str) == "PONG" {
+				conn.Close()
+				break
+			}
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after closing an admitted connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMaxConnsPerTenant(t *testing.T) {
+	s := startServer(t, Config{
+		Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU,
+		MaxConnsPerTenant: 1,
+		Tenants: []TenantConfig{
+			{Name: "gold", Password: "g", Ways: 2},
+			{Name: "lead", Password: "l", Ways: 2},
+		},
+	})
+
+	c1 := dial(t, s)
+	c1.expectSimple("OK", "AUTH", "g")
+
+	// Second connection for the same tenant: refused at AUTH time and
+	// the connection closes; the cap is per tenant, not global.
+	conn, r, w := dialRaw(t, s)
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	w.WriteCommandString("AUTH", "g")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsErr() || !strings.HasPrefix(string(rep.Str), "ERR max number of clients") {
+		t.Fatalf("over-cap AUTH => %+v, want max-clients error", rep)
+	}
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("over-cap tenant connection left open")
+	}
+
+	// A different tenant still gets in.
+	c2 := dial(t, s)
+	c2.expectSimple("OK", "AUTH", "l")
+	c2.expectSimple("PONG", "PING")
+
+	// Re-AUTH moves the binding: c2 switching to gold must be refused
+	// (gold is full) and the connection ends.
+	c2.expectErrPrefix("ERR max number of clients", "AUTH", "g")
+
+	// c1's slot frees when it closes; gold admits again after the
+	// server processes the close.
+	c1.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		r, w := resp.NewReader(conn), resp.NewWriter(conn)
+		w.WriteCommandString("AUTH", "g")
+		if err := w.Flush(); err == nil {
+			if rep, err := r.ReadReply(); err == nil && rep.Kind == resp.KindSimple {
+				conn.Close()
+				break
+			}
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("tenant slot never freed after close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRateLimitBusy(t *testing.T) {
+	// 1 op/s with the 32-op burst floor: the 40th GET in a burst must
+	// be throttled with -BUSY, and INFO/CONFIG stay exempt so the
+	// server remains observable under overload.
+	s := startServer(t, Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU, RateLimitOps: 1})
+	c := dial(t, s)
+
+	busy := 0
+	for i := 0; i < 40; i++ {
+		rep := c.do("GET", "k")
+		if rep.IsErr() {
+			if !strings.HasPrefix(string(rep.Str), "BUSY") {
+				t.Fatalf("throttled reply = %+v, want -BUSY", rep)
+			}
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("40 instant GETs at 1 op/s (burst 32) never hit -BUSY")
+	}
+	if got := infoCounter(t, c, "rate_limited_ops"); got < int64(busy) {
+		t.Fatalf("rate_limited_ops = %d, want >= %d", got, busy)
+	}
+	// The connection survives throttling — -BUSY is backpressure, not
+	// eviction.
+	if rep := c.do("INFO"); rep.Kind != resp.KindBulk {
+		t.Fatalf("INFO throttled: %+v", rep)
+	}
+}
+
+func TestRateLimitBytes(t *testing.T) {
+	// Tiny byte budget (floor 64 KiB burst): pushing >64KiB of SET
+	// payload instantly must throttle, ops alone would not.
+	s := startServer(t, Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU, RateLimitBytes: 1})
+	c := dial(t, s)
+
+	val := strings.Repeat("x", 8<<10)
+	busy := 0
+	for i := 0; i < 16; i++ { // 16 × 8 KiB = 128 KiB >> 64 KiB burst
+		rep := c.do("SET", fmt.Sprintf("k%d", i), val)
+		if rep.IsErr() && strings.HasPrefix(string(rep.Str), "BUSY") {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("128 KiB of instant SET payload at 1 byte/s never hit -BUSY")
+	}
+}
+
+func TestSlowClientEviction(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU, ReadTimeout: 100 * time.Millisecond})
+
+	c := dial(t, s)
+	c.expectSimple("PONG", "PING")
+
+	// Go idle past the deadline: the server evicts us.
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadReply(); err == nil {
+		t.Fatal("idle connection not evicted")
+	}
+
+	// The eviction is counted, and fresh clients are unaffected.
+	c2 := dial(t, s)
+	if got := infoCounter(t, c2, "slow_client_evictions"); got < 1 {
+		t.Fatalf("slow_client_evictions = %d, want >= 1", got)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU})
+
+	c := dial(t, s)
+	c.expectSimple("OK", "SET", "k", "v")
+
+	// DEBUG PANIC kills only its own connection: best-effort error
+	// reply, then close.
+	pc := dial(t, s)
+	pc.conn.SetDeadline(time.Now().Add(5 * time.Second))
+	pc.w.WriteCommandString("DEBUG", "PANIC")
+	if err := pc.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := pc.r.ReadReply(); err == nil {
+		if !rep.IsErr() || string(rep.Str) != "ERR internal error" {
+			t.Fatalf("post-panic reply = %+v, want -ERR internal error", rep)
+		}
+	}
+	if _, err := pc.r.ReadReply(); err == nil {
+		t.Fatal("panicked connection left open")
+	}
+
+	// The server is still serving, data intact, panic counted.
+	c.expectBulk("v", "GET", "k")
+	if got := infoCounter(t, c, "panics_recovered"); got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+	c2 := dial(t, s)
+	c2.expectSimple("PONG", "PING")
+}
+
+func TestDebugSleep(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU})
+	c := dial(t, s)
+
+	start := time.Now()
+	c.expectSimple("OK", "DEBUG", "SLEEP", "0.05")
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("DEBUG SLEEP 0.05 returned in %v", d)
+	}
+	c.expectErrPrefix("ERR", "DEBUG", "SLEEP", "-1")
+	c.expectErrPrefix("ERR", "DEBUG", "WAT")
+}
+
+// flakyListener fails its first n Accepts with a transient error, then
+// delegates. It proves the accept loop retries instead of dying.
+type flakyListener struct {
+	net.Listener
+	failures int
+}
+
+var errFlaky = errors.New("transient accept failure")
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.failures > 0 {
+		l.failures--
+		return nil, errFlaky
+	}
+	return l.Listener.Accept()
+}
+
+func TestAcceptLoopSurvivesTransientErrors(t *testing.T) {
+	s, err := New(Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const failures = 3
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(&flakyListener{Listener: ln, failures: failures}) }()
+	for deadline := time.Now().Add(5 * time.Second); s.Addr() == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("Serve never registered its listener")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Despite the injected failures (and their backoff) the loop must
+	// come back and accept real connections.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	r, w := resp.NewReader(conn), resp.NewWriter(conn)
+	w.WriteCommandString("PING")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ReadReply()
+	if err != nil || rep.Kind != resp.KindSimple || string(rep.Str) != "PONG" {
+		t.Fatalf("PING through flaky accepts: %+v, %v", rep, err)
+	}
+	w.WriteCommandString("INFO")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = r.ReadReply()
+	if err != nil || !strings.Contains(string(rep.Str), fmt.Sprintf("accept_errors:%d", failures)) {
+		t.Fatalf("INFO accept_errors: %+v, %v", rep, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after drain, want nil", err)
+	}
+}
+
+func TestInfoServerFields(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU})
+	c := dial(t, s)
+	rep := c.do("INFO")
+	for _, field := range []string{
+		"uptime_seconds:", "connected_clients:", "rejected_connections:",
+		"rate_limited_ops:", "slow_client_evictions:", "panics_recovered:",
+		"accept_errors:",
+	} {
+		if !strings.Contains(string(rep.Str), field) {
+			t.Fatalf("INFO missing %q:\n%s", field, rep.Str)
+		}
+	}
+	if got := infoCounter(t, c, "connected_clients"); got != 1 {
+		t.Fatalf("connected_clients = %d, want 1", got)
+	}
+}

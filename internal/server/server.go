@@ -20,6 +20,14 @@
 // woken by a read deadline, and the cache's background machinery stops
 // via Close. Connections that ignore the drain past the context
 // deadline are force-closed.
+//
+// The serving path defends itself: global and per-tenant connection
+// caps ("-ERR max number of clients reached"), per-tenant token-bucket
+// rate limits on ops/s and request bytes/s ("-BUSY"), read/idle and
+// write deadlines that evict slow clients, a per-connection panic
+// bulkhead (reply, close, count — never the process), and an accept
+// loop that retries transient errors under backoff instead of exiting.
+// Every defense increments a counter surfaced through INFO.
 package server
 
 import (
@@ -27,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -86,8 +95,35 @@ type Config struct {
 	// resp.DefaultLimits.
 	Limits resp.Limits
 
+	// MaxConns caps concurrently open connections (0 = unlimited).
+	// Over the cap, an accepted socket is answered with
+	// "-ERR max number of clients reached" and closed; the accept loop
+	// keeps running and the rejection is counted in INFO.
+	MaxConns int
+	// MaxConnsPerTenant caps the connections bound to any one tenant
+	// (0 = unlimited). The cap is enforced when the connection binds —
+	// at accept for an open single-tenant server, at AUTH otherwise.
+	MaxConnsPerTenant int
+
+	// RateLimitOps and RateLimitBytes are per-tenant token-bucket
+	// admission limits (commands/s and request bytes/s; 0 = unlimited).
+	// Over-limit commands are refused with "-BUSY rate limit exceeded";
+	// INFO and CONFIG are exempt so monitoring keeps working under
+	// overload. Bursts of one second's worth are admitted.
+	RateLimitOps   float64
+	RateLimitBytes float64
+
+	// ReadTimeout bounds the wait for the next command on a connection
+	// (0 = no limit). A connection that stays silent past it — idle, or
+	// too slow to deliver its frame — is evicted and counted in INFO as
+	// a slow_client_eviction.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one reply flush (0 = no limit). A client that
+	// stops reading until the server's write blocks past it is evicted.
+	WriteTimeout time.Duration
+
 	// Logf, when non-nil, receives one line per lifecycle event
-	// (listen, drain, forced closes).
+	// (listen, drain, forced closes, accept retries, panics).
 	Logf func(format string, args ...any)
 }
 
@@ -106,21 +142,30 @@ func (c *Config) withDefaults() {
 // Server is one cpacached instance. Create with New, start with Serve
 // or ListenAndServe, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	cache *cpacache.Cache[string, []byte]
-	auth  map[string]int // password -> tenant id
-	names []string       // tenant id -> display name
-	gate  bool           // AUTH required before data commands
+	cfg    Config
+	cache  *cpacache.Cache[string, []byte]
+	auth   map[string]int  // password -> tenant id
+	names  []string        // tenant id -> display name
+	gate   bool            // AUTH required before data commands
+	limits []tenantLimiter // nil when no rate limits configured
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
-	draining bool
+	draining atomic.Bool // set under mu, read lock-free on hot paths
 
-	wg        sync.WaitGroup // one per live connection
-	startedAt time.Time
-	nCommands atomic.Uint64
-	nConns    atomic.Uint64
+	wg          sync.WaitGroup // one per live connection
+	startedAt   time.Time
+	tenantConns []atomic.Int32 // connections bound per tenant
+	nCommands   atomic.Uint64
+	nConns      atomic.Uint64
+
+	// Overload / self-healing counters, surfaced through INFO.
+	nRejected     atomic.Uint64 // connections refused at a conn cap
+	nRateLimited  atomic.Uint64 // commands refused with -BUSY
+	nSlowEvicted  atomic.Uint64 // connections evicted on a deadline
+	nPanics       atomic.Uint64 // per-connection panics recovered
+	nAcceptErrors atomic.Uint64 // transient accept errors retried
 }
 
 // New builds the cache and the server around it. The cache measures
@@ -156,11 +201,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cache,
-		auth:  make(map[string]int, tenants),
-		names: make([]string, tenants),
-		conns: make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		cache:       cache,
+		auth:        make(map[string]int, tenants),
+		names:       make([]string, tenants),
+		conns:       make(map[net.Conn]struct{}),
+		tenantConns: make([]atomic.Int32, tenants),
+	}
+	if cfg.RateLimitOps > 0 || cfg.RateLimitBytes > 0 {
+		s.limits = make([]tenantLimiter, tenants)
+		for i := range s.limits {
+			s.limits[i].init(cfg.RateLimitOps, cfg.RateLimitBytes)
+		}
 	}
 	s.names[0] = "default"
 	quotas := make([]int, 0, tenants)
@@ -241,10 +293,13 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Serve accepts connections on ln until Shutdown closes it. It returns
-// nil on a drain-initiated stop and the accept error otherwise.
+// nil on a drain-initiated stop and the terminal accept error
+// otherwise. Transient accept errors (EMFILE pressure, injected
+// faults) do not kill the loop: they are retried under exponential
+// backoff, and only a closed listener — the drain signal — ends it.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.draining {
+	if s.draining.Load() {
 		s.mu.Unlock()
 		ln.Close()
 		return errors.New("server: already shut down")
@@ -253,21 +308,39 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.startedAt = time.Now()
 	s.mu.Unlock()
 	s.logf("cpacached listening on %s", ln.Addr())
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			draining := s.draining
-			s.mu.Unlock()
-			if draining {
+			if s.draining.Load() {
 				return nil
 			}
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			// Transient: back off (5ms..1s, doubling) and keep
+			// accepting. A file-descriptor squeeze or a hostile burst
+			// must not take the listener down for the tenants behind it.
+			s.nAcceptErrors.Add(1)
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			s.logf("cpacached accept error (retrying in %v): %v", backoff, err)
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
-		if s.draining {
+		if s.draining.Load() {
 			s.mu.Unlock()
 			conn.Close()
+			continue
+		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.rejectConn(conn)
 			continue
 		}
 		s.conns[conn] = struct{}{}
@@ -278,6 +351,20 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+const maxClientsMsg = "ERR max number of clients reached"
+
+// rejectConn answers an over-cap socket without blocking the accept
+// loop: the error line goes out under a short deadline in its own
+// goroutine, then the socket closes.
+func (s *Server) rejectConn(conn net.Conn) {
+	s.nRejected.Add(1)
+	go func() {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		conn.Write([]byte("-" + maxClientsMsg + "\r\n"))
+		conn.Close()
+	}()
+}
+
 // Shutdown drains the server: stop accepting, let every connection
 // finish (and flush replies for) the commands it has already received,
 // wake blocked readers, stop the cache's background goroutines. When
@@ -285,11 +372,11 @@ func (s *Server) Serve(ln net.Listener) error {
 // returned; a clean drain returns nil.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.draining {
+	if s.draining.Load() {
 		s.mu.Unlock()
 		return nil
 	}
-	s.draining = true
+	s.draining.Store(true)
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -329,6 +416,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 type connState struct {
 	tenant int
 	authed bool
+	bound  bool // counted in tenantConns[tenant]
 	quit   bool
 
 	keys []string
@@ -344,24 +432,101 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	r := resp.NewReaderLimits(conn, s.cfg.Limits)
-	w := resp.NewWriter(conn)
+	s.serveConn(conn)
+}
+
+// bindTenant counts the connection against a tenant's connection cap,
+// or reports the tenant full. The increment-then-check keeps the cap
+// exact without a lock.
+func (s *Server) bindTenant(st *connState, tenant int) bool {
+	n := s.tenantConns[tenant].Add(1)
+	if max := s.cfg.MaxConnsPerTenant; max > 0 && int(n) > max {
+		s.tenantConns[tenant].Add(-1)
+		return false
+	}
+	st.tenant = tenant
+	st.bound = true
+	return true
+}
+
+// flush writes out the connection's buffered replies, under the write
+// deadline when one is configured. A flush that times out means the
+// client stopped reading while the server's buffers filled — that
+// connection is a slow client and the timeout is its eviction.
+func (s *Server) flush(conn net.Conn, w *resp.Writer) error {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	err := w.Flush()
+	if err != nil && isTimeout(err) && !s.draining.Load() {
+		s.nSlowEvicted.Add(1)
+		s.logf("cpacached evicting slow client %s: reply flush exceeded %v", conn.RemoteAddr(), s.cfg.WriteTimeout)
+	}
+	return err
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// serveConn runs one session's read-dispatch-flush loop. Its deferred
+// recover is the panic bulkhead: a panic while serving one connection
+// is counted, answered with -ERR, and costs exactly that connection —
+// never the process and never another tenant's session.
+func (s *Server) serveConn(conn net.Conn) {
 	st := &connState{authed: !s.gate}
+	defer func() {
+		if st.bound {
+			s.tenantConns[st.tenant].Add(-1)
+		}
+		if p := recover(); p != nil {
+			s.nPanics.Add(1)
+			s.logf("cpacached recovered panic serving %s (connection dropped): %v\n%s",
+				conn.RemoteAddr(), p, debug.Stack())
+			// Best-effort last reply on a fresh writer: the session's
+			// writer may hold a half-rendered frame.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			pw := resp.NewWriter(conn)
+			pw.Error("ERR internal error")
+			pw.Flush()
+		}
+	}()
+	w := resp.NewWriter(conn)
+	if !s.gate && !s.bindTenant(st, 0) {
+		s.nRejected.Add(1)
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		w.Error(maxClientsMsg)
+		w.Flush()
+		return
+	}
+	r := resp.NewReaderLimits(conn, s.cfg.Limits)
 	for {
+		// Arm the idle/read deadline — except while draining, when the
+		// immediate deadline Shutdown installed must stay in force.
+		if s.cfg.ReadTimeout > 0 && !s.draining.Load() {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		args, err := r.ReadCommand()
 		if err != nil {
 			if resp.IsProtocol(err) {
 				// Malformed frame: the parser resynchronized, the
 				// session continues — one error reply per bad frame.
 				w.Error(err.Error())
-				if r.Buffered() == 0 && w.Flush() != nil {
+				if r.Buffered() == 0 && s.flush(conn, w) != nil {
 					return
 				}
 				continue
 			}
-			// EOF, client reset, or the drain deadline: flush whatever
-			// replies are pending and close.
-			w.Flush()
+			if isTimeout(err) && !s.draining.Load() {
+				// Slow or idle client: reclaim the connection. The
+				// write side still works, so pending replies flush.
+				s.nSlowEvicted.Add(1)
+				s.logf("cpacached evicting slow client %s: no command in %v", conn.RemoteAddr(), s.cfg.ReadTimeout)
+			}
+			// EOF, client reset, eviction, or the drain deadline: flush
+			// whatever replies are pending and close.
+			s.flush(conn, w)
 			return
 		}
 		s.nCommands.Add(1)
@@ -369,7 +534,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		// Flush-on-idle: within a pipelined burst the replies stay
 		// buffered; the last command of the burst pays the one write.
 		if r.Buffered() == 0 {
-			if w.Flush() != nil {
+			if s.flush(conn, w) != nil {
 				return
 			}
 		}
@@ -418,6 +583,16 @@ func (s *Server) dispatch(st *connState, w *resp.Writer, args [][]byte) {
 		w.Error("NOAUTH Authentication required.")
 		return
 	}
+	// Token-bucket admission: one op token plus the command's payload
+	// bytes, charged to the connection's tenant. INFO and CONFIG are
+	// exempt — monitoring an overloaded tenant must keep working.
+	if s.limits != nil && cmd != "INFO" && cmd != "CONFIG" {
+		if !s.limits[st.tenant].admit(time.Now().UnixNano(), argsBytes(args)) {
+			s.nRateLimited.Add(1)
+			w.Error("BUSY rate limit exceeded, retry later")
+			return
+		}
+	}
 	switch cmd {
 	case "GET":
 		s.cmdGet(st, w, args)
@@ -439,6 +614,8 @@ func (s *Server) dispatch(st *connState, w *resp.Writer, args [][]byte) {
 		s.cmdConfig(w, args)
 	case "INFO":
 		w.BulkString(s.infoText())
+	case "DEBUG":
+		s.cmdDebug(w, args)
 	default:
 		w.Error(fmt.Sprintf("ERR unknown command '%s'", cmd))
 	}
@@ -462,9 +639,53 @@ func (s *Server) cmdAuth(st *connState, w *resp.Writer, args [][]byte) {
 		w.Error("WRONGPASS invalid password")
 		return
 	}
+	if !st.bound || st.tenant != tenant {
+		if st.bound {
+			s.tenantConns[st.tenant].Add(-1)
+			st.bound = false
+		}
+		if !s.bindTenant(st, tenant) {
+			// The tenant's connection cap is full: refuse the binding
+			// and end the session so the slot is not half-claimed.
+			s.nRejected.Add(1)
+			w.Error(maxClientsMsg)
+			st.authed = false
+			st.quit = true
+			return
+		}
+	}
 	st.tenant = tenant
 	st.authed = true
 	w.SimpleString("OK")
+}
+
+// cmdDebug implements the redis DEBUG subcommands the robustness suite
+// leans on: PANIC panics the connection's goroutine — proving the
+// panic bulkhead end-to-end against a live server — and SLEEP stalls
+// the handler to simulate a slow command.
+func (s *Server) cmdDebug(w *resp.Writer, args [][]byte) {
+	if len(args) < 2 {
+		wrongArity(w, "debug")
+		return
+	}
+	switch sub := commandName(args[1]); sub {
+	case "PANIC":
+		panic("DEBUG PANIC requested by client")
+	case "SLEEP":
+		if len(args) != 3 {
+			wrongArity(w, "debug|sleep")
+			return
+		}
+		secs, err := strconv.ParseFloat(string(args[2]), 64)
+		if err != nil || secs < 0 || secs > 60 {
+			w.Error("ERR invalid sleep time")
+			return
+		}
+		time.Sleep(time.Duration(secs * float64(time.Second)))
+		w.SimpleString("OK")
+	default:
+		w.Error(fmt.Sprintf("ERR DEBUG %s is not supported", sub))
+	}
 }
 
 func (s *Server) cmdGet(st *connState, w *resp.Writer, args [][]byte) {
@@ -685,6 +906,11 @@ func (s *Server) infoText() string {
 	line("connected_clients:%d", open)
 	line("total_connections_received:%d", s.nConns.Load())
 	line("total_commands_processed:%d", s.nCommands.Load())
+	line("rejected_connections:%d", s.nRejected.Load())
+	line("rate_limited_ops:%d", s.nRateLimited.Load())
+	line("slow_client_evictions:%d", s.nSlowEvicted.Load())
+	line("panics_recovered:%d", s.nPanics.Load())
+	line("accept_errors:%d", s.nAcceptErrors.Load())
 	line("")
 	line("# Cache")
 	line("policy:%s", s.cfg.Policy)
