@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate bench-multicore bench-gate-server alloc-guard fuzz-smoke serve loadtest server-smoke chaos-smoke fmt fmt-check vet staticcheck vulncheck docs-check ci
+.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate bench-multicore bench-gate-server bench-record opt-scoreboard alloc-guard fuzz-smoke serve loadtest server-smoke chaos-smoke fmt fmt-check vet staticcheck vulncheck docs-check ci
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,36 @@ bench-gate-server:
 	$(GO) run ./cmd/benchjson -gate-server -tolerance 0.40 \
 		BENCH_cpacached.json /tmp/cpaload_fresh.json
 
+# Re-record the BENCH_cpacache.json hot-path baseline from a fresh run.
+# REFUSES on a single-core host or with GOMAXPROCS=1: the parallel
+# benchmarks degenerate to serial there, and committing those numbers
+# would poison bench-gate and bench-multicore for every other machine.
+# The shell guard catches the obvious case early; benchjson -record
+# re-checks the GOMAXPROCS suffix actually present in the bench output,
+# so piping in a stale single-core file fails too. Procedure and
+# rationale: EXPERIMENTS.md "Re-recording benchmark baselines".
+bench-record:
+	@procs=$${GOMAXPROCS:-$$(nproc)}; \
+	if [ "$$procs" -le 1 ]; then \
+		echo "bench-record: refusing with GOMAXPROCS=$$procs — baselines must"; \
+		echo "come from a multi-core run (see EXPERIMENTS.md)"; exit 1; fi
+	$(GO) test -run=NONE -bench='GetHit|SetChurn|ParallelGet|Rebalance|GetBatch|SetBatch' \
+		-benchtime=1s -count=3 ./pkg/cpacache/ | tee /tmp/bench_record.txt
+	$(GO) run ./cmd/benchjson -record BENCH_cpacache.json /tmp/bench_record.txt
+
+# Belady/OPT competitive-analysis gate: regenerate the fig6-style OPT
+# scoreboard on the two cheapest workloads per thread count (the run is
+# fully deterministic, ~1s) and diff it row-by-row against the committed
+# OPT_SCOREBOARD.csv golden within a small tolerance band. Catches any
+# change that silently shifts a policy's hit rate or its distance from
+# optimal. Re-record the golden with the same repro invocation after an
+# intentional policy change (see EXPERIMENTS.md).
+opt-scoreboard:
+	$(GO) run ./cmd/repro -experiment opt -insts 150000 -interval 50000 \
+		-sample 8 -limit 2 -opt-cores 1,2 -opt-sizes 256 -csvdir /tmp/opt_lane
+	$(GO) run ./cmd/benchjson -opt-gate -tolerance 0.02 \
+		OPT_SCOREBOARD.csv /tmp/opt_lane/opt_scoreboard.csv
+
 # Fuzz smoke: a short bounded pass over every fuzz target. Go allows one
 # -fuzz pattern per invocation, so each target gets its own run.
 fuzz-smoke:
@@ -104,6 +134,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzTouchBatchEquivalence$$' -fuzztime=10s ./pkg/plru/
 	$(GO) test -run=NONE -fuzz='^FuzzTagCollisionFallback$$' -fuzztime=10s ./pkg/cpacache/
 	$(GO) test -run=NONE -fuzz='^FuzzTouchRing$$' -fuzztime=10s ./pkg/cpacache/
+	$(GO) test -run=NONE -fuzz='^FuzzCollisionStorm$$' -fuzztime=10s ./pkg/cpacache/
 
 # Run the cache server on the default redis port (ctrl-C drains).
 serve:
@@ -163,4 +194,4 @@ vet:
 docs-check: vet
 	$(GO) run ./cmd/doccheck .
 
-ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache bench-gate server-smoke chaos-smoke docs-check
+ci: fmt-check vet staticcheck build examples race alloc-guard bench bench-cpacache bench-gate opt-scoreboard server-smoke chaos-smoke docs-check

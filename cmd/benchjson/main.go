@@ -42,6 +42,26 @@
 //
 //	go run ./cmd/benchjson -gate-server -tolerance 0.25 \
 //	        BENCH_cpacached.json fresh_load.json
+//
+// With -record it rewrites a BENCH_*.json baseline in place from a fresh
+// bench output file (best-of-run per benchmark, ns/op + allocs/op +
+// derived ops/sec), refreshing the host stanza and preserving every
+// other field the JSON carries. Recording REFUSES to run when the fresh
+// output was taken at GOMAXPROCS<=1: the parallel benchmarks in a
+// single-core run are meaningless as a scaling baseline, and committing
+// one would poison bench-gate and bench-multicore for everyone:
+//
+//	go test -run=NONE -bench=... -count=3 ./pkg/cpacache/ > fresh.txt
+//	go run ./cmd/benchjson -record BENCH_cpacache.json fresh.txt
+//
+// With -opt-gate it diffs a fresh Belady/OPT scoreboard CSV (from
+// `repro -experiment opt` or internal/experiments.OptScoreboard) against
+// the committed golden, row by row keyed on cores/workload/size/policy,
+// failing when hit_rate_vs_opt or competitive_ratio drifts outside the
+// tolerance band or when rows appear/disappear:
+//
+//	go run ./cmd/benchjson -opt-gate -tolerance 0.02 \
+//	        OPT_SCOREBOARD.csv results/opt_scoreboard.csv
 package main
 
 import (
@@ -49,7 +69,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -71,6 +93,8 @@ func main() {
 	gate := flag.Bool("gate", false, "compare a fresh `go test -bench` output file against the JSON baseline and fail on regression")
 	scaling := flag.Bool("scaling", false, "compare GOMAXPROCS=1 vs GOMAXPROCS=N bench outputs and fail when named benchmarks miss the -min speedup")
 	gateServer := flag.Bool("gate-server", false, "compare a fresh cpaload -json report against the baseline JSON and fail when req/s regresses")
+	record := flag.Bool("record", false, "rewrite the baseline JSON from a fresh bench output file (refuses GOMAXPROCS<=1 runs)")
+	optGate := flag.Bool("opt-gate", false, "diff a fresh OPT scoreboard CSV against the committed golden within -tolerance")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression in -gate / -gate-server mode")
 	minSpeedup := flag.Float64("min", 1.3, "minimum parallel speedup the -scaling mode requires")
 	benches := flag.String("benches", "BenchmarkGetHit,BenchmarkParallelGetSet", "comma-separated benchmarks the -gate / -scaling modes check (others are informational)")
@@ -95,6 +119,20 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runServerGate(flag.Arg(0), flag.Arg(1), *tolerance))
+	}
+	if *record {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -record BENCH_file.json fresh_bench_output.txt")
+			os.Exit(2)
+		}
+		os.Exit(runRecord(flag.Arg(0), flag.Arg(1)))
+	}
+	if *optGate {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -opt-gate [-tolerance 0.02] OPT_SCOREBOARD.csv fresh_scoreboard.csv")
+			os.Exit(2)
+		}
+		os.Exit(runOptGate(flag.Arg(0), flag.Arg(1), *tolerance))
 	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchjson BENCH_file.json [more.json...]")
@@ -305,6 +343,214 @@ func runServerGate(baselinePath, freshPath string, tolerance float64) int {
 	}
 	fmt.Printf("cpacached req/s: baseline %.0f  fresh %.0f  floor %.0f  %s\n", baseRPS, freshRPS, floor, status)
 	return code
+}
+
+// runRecord implements -record: rewrite baselinePath's host stanza and
+// per-benchmark numbers from the fresh bench output, preserving every
+// other JSON field. The baseline is decoded as a generic map so fields
+// this tool does not know about (description, command, notes) survive
+// the round trip. Returns the process exit code.
+func runRecord(baselinePath, freshPath string) int {
+	best, err := parseBench(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(best) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines in %s\n", freshPath)
+		return 1
+	}
+	procs, err := benchProcs(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if procs <= 1 {
+		fmt.Fprintf(os.Stderr, "benchjson: refusing to record %s: fresh run used GOMAXPROCS=%d — "+
+			"parallel baselines from a single-core run are meaningless (see EXPERIMENTS.md)\n",
+			baselinePath, procs)
+		return 1
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	host, _ := doc["host"].(map[string]any)
+	if host == nil {
+		host = map[string]any{}
+	}
+	host["cpus"] = runtime.NumCPU()
+	host["gomaxprocs"] = procs
+	host["go"] = runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+	doc["host"] = host
+	results, _ := doc["results"].(map[string]any)
+	if results == nil {
+		results = map[string]any{}
+	}
+	for name, f := range best {
+		entry, _ := results[name].(map[string]any)
+		if entry == nil {
+			entry = map[string]any{}
+		}
+		entry["ns_per_op"] = round2(f.ns)
+		entry["allocs_per_op"] = f.allocs
+		if f.ns > 0 {
+			entry["ops_per_sec"] = math.Round(1e9 / f.ns)
+		}
+		results[name] = entry
+	}
+	doc["results"] = results
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Printf("recorded %d benchmarks into %s (GOMAXPROCS=%d)\n", len(best), baselinePath, procs)
+	return 0
+}
+
+// round2 keeps recorded ns/op readable without losing gate-relevant
+// precision.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// benchProcs returns the largest GOMAXPROCS suffix (Benchmark...-N)
+// seen in a `go test -bench` output file; lines without a numeric
+// suffix count as 1.
+func benchProcs(path string) (int, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer fh.Close()
+	max := 0
+	sc := bufio.NewScanner(fh)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		procs := 1
+		if i := strings.LastIndex(fields[0], "-"); i > 0 {
+			if n, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+				procs = n
+			}
+		}
+		if procs > max {
+			max = procs
+		}
+	}
+	if max == 0 {
+		return 0, fmt.Errorf("no benchmark lines in %s", path)
+	}
+	return max, sc.Err()
+}
+
+// optRow is one scoreboard line keyed by cores/workload/size/policy.
+type optRow struct {
+	vsOpt, ratio float64
+}
+
+// runOptGate implements -opt-gate: every row of the golden scoreboard
+// must appear in the fresh one with hit_rate_vs_opt and
+// competitive_ratio within ±tolerance (absolute — the metrics live
+// near 1.0, so absolute and relative bands coincide), and the fresh
+// file must not grow rows the golden lacks. Returns the exit code.
+func runOptGate(goldenPath, freshPath string, tolerance float64) int {
+	golden, err := parseScoreboard(goldenPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	freshRows, err := parseScoreboard(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	keys := make([]string, 0, len(golden))
+	for k := range golden {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := false
+	for _, k := range keys {
+		g := golden[k]
+		f, ok := freshRows[k]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: row %s missing from %s\n", k, freshPath)
+			failed = true
+			continue
+		}
+		status := "ok"
+		if math.Abs(f.vsOpt-g.vsOpt) > tolerance || math.Abs(f.ratio-g.ratio) > tolerance {
+			status = "DRIFT"
+			failed = true
+		}
+		fmt.Printf("%-40s vs-OPT %.4f (golden %.4f)  competitive %.4f (golden %.4f)  %s\n",
+			k, f.vsOpt, g.vsOpt, f.ratio, g.ratio, status)
+	}
+	for k := range freshRows {
+		if _, ok := golden[k]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: unexpected row %s in %s (golden lacks it)\n", k, freshPath)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// parseScoreboard reads an OPT scoreboard CSV (the experiments.CSV
+// contract: cores,workload,size_kb,policy,hit_rate,opt_hit_rate,
+// hit_rate_vs_opt,competitive_ratio) into rows keyed
+// cores/workload/size_kb/policy.
+func parseScoreboard(path string) (map[string]optRow, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	out := map[string]optRow{}
+	sc := bufio.NewScanner(fh)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "cores,") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("%s:%d: want 8 CSV fields, got %d", path, line, len(fields))
+		}
+		vsOpt, err1 := strconv.ParseFloat(fields[6], 64)
+		ratio, err2 := strconv.ParseFloat(fields[7], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad metric fields %q / %q", path, line, fields[6], fields[7])
+		}
+		key := strings.Join(fields[:4], "/")
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate row %s", path, line, key)
+		}
+		out[key] = optRow{vsOpt: vsOpt, ratio: ratio}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scoreboard rows in %s", path)
+	}
+	return out, nil
 }
 
 // parseBench extracts, per benchmark name (GOMAXPROCS suffix stripped),

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/optref"
 	"repro/internal/workload"
 	"repro/pkg/cpapart"
 	"repro/pkg/plru"
@@ -37,6 +38,7 @@ func main() {
 		interval   = flag.Uint64("interval", 250_000, "repartition interval in cycles")
 		sample     = flag.Int("sample", 32, "ATD set-sampling rate")
 		showParts  = flag.Bool("partitions", false, "log every repartition decision")
+		optFlag    = flag.Bool("opt", false, "record the demand-access trace and report the Belady/OPT hit rate alongside")
 		goal       = flag.String("goal", "minmisses", "partitioning goal: minmisses, throughput, fair, qos")
 		qosTarget  = flag.Float64("qos", 1.1, "max slowdown for thread 0 under -goal qos")
 		inCache    = flag.Bool("incache", false, "use Suh-style in-cache way counters instead of ATDs (LRU only)")
@@ -99,6 +101,27 @@ func main() {
 		}
 	}
 
+	// -opt: record the demand stream (and, when partitioned, every mask
+	// change at its position in it) for the Belady replay after the run.
+	var trace *optref.Trace
+	if *optFlag {
+		trace = &optref.Trace{}
+		sets := simCfg.L2.SizeBytes / simCfg.L2.LineBytes / simCfg.L2.Ways
+		sys.SetTracer(func(core int, addr uint64) {
+			line := addr >> 7 // 128 B lines
+			trace.Access(core, int(line%uint64(sets)), line)
+		})
+		if sys.CPA() != nil {
+			prev := sys.CPA().OnRepartition
+			sys.CPA().OnRepartition = func(cycle uint64, alloc cpapart.Allocation) {
+				if prev != nil {
+					prev(cycle, alloc)
+				}
+				trace.SetMasks(cpapart.Masks(alloc, simCfg.L2.Ways))
+			}
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := sys.RunContext(ctx)
@@ -123,6 +146,23 @@ func main() {
 	if sys.CPA() != nil {
 		fmt.Printf("repartitions: %d, final allocation: %v\n",
 			res.Repartitions, sys.CPA().Allocation())
+	}
+	if trace != nil {
+		sets := simCfg.L2.SizeBytes / simCfg.L2.LineBytes / simCfg.L2.Ways
+		opt, err := optref.Replay(optref.Config{Sets: sets, Ways: simCfg.L2.Ways, Cores: w.Threads()}, trace)
+		if err != nil {
+			fatal(err)
+		}
+		hitRate := res.DemandHitRate()
+		fmt.Printf("\nBelady/OPT on the recorded trace (%d demand refs):\n", trace.Len())
+		fmt.Printf("  demand hit rate: %.4f   OPT hit rate: %.4f\n", hitRate, opt.HitRate())
+		if ohr := opt.HitRate(); ohr > 0 {
+			fmt.Printf("  hit-rate-vs-OPT: %.4f", hitRate/ohr)
+			if om := 1 - ohr; om > 0 {
+				fmt.Printf("   competitive ratio (miss-based): %.4f", (1-hitRate)/om)
+			}
+			fmt.Println()
+		}
 	}
 }
 

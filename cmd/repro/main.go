@@ -2,15 +2,21 @@
 //
 // Usage:
 //
-//	repro [-experiment all|table1|table2|fig6|fig7|fig8|fig9]
+//	repro [-experiment all|table1|table2|fig6|fig7|fig8|fig9|opt]
 //	      [-insts N] [-interval N] [-sample N] [-limit N]
 //	      [-parallel N] [-csvdir DIR] [-v]
+//	      [-opt] [-opt-cores LIST] [-opt-sizes LIST]
 //
 // The default instruction budget (1M per thread) is a scaled-down stand-in
 // for the paper's 100M SimPoint slices; raise -insts for tighter numbers.
 // Simulations run -parallel at a time (default: GOMAXPROCS); the output
 // is bit-identical at any setting. Ctrl-C cancels the sweep. With
 // -csvdir, each figure also writes a machine-readable CSV.
+//
+// -opt (or -experiment opt) emits the Belady/OPT competitive-analysis
+// scoreboard: every policy's demand hit rate vs the offline-optimal on
+// the fig6-9 workloads, across -opt-cores core counts and -opt-sizes L2
+// sizes (opt_scoreboard.csv with -csvdir).
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +47,9 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		csvdir     = flag.String("csvdir", "", "directory for CSV output (optional)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
+		optFlag    = flag.Bool("opt", false, "also run the Belady/OPT competitive-analysis scoreboard")
+		optCores   = flag.String("opt-cores", "1,2,4,8", "comma-separated core counts for the OPT scoreboard")
+		optSizes   = flag.String("opt-sizes", "2048", "comma-separated L2 sizes (KB) for the OPT scoreboard")
 	)
 	flag.Parse()
 
@@ -134,6 +145,22 @@ func main() {
 			}
 			fmt.Print(d.Render())
 			writeCSV("fig9.csv", d.CSV())
+		case "opt":
+			cores, err := parseIntList(*optCores)
+			if err != nil {
+				fatal(fmt.Errorf("-opt-cores: %w", err))
+			}
+			sizes, err := parseIntList(*optSizes)
+			if err != nil {
+				fatal(fmt.Errorf("-opt-sizes: %w", err))
+			}
+			d, err := h.OptScoreboard(ctx, cores, sizes, nil)
+			endCounter()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(d.Render())
+			writeCSV("opt_scoreboard.csv", d.CSV())
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -145,9 +172,35 @@ func main() {
 		for _, name := range []string{"table1", "table2", "fig6", "fig7", "fig9", "fig8"} {
 			run(name)
 		}
+		if *optFlag {
+			run("opt")
+		}
 		return
 	}
 	run(*experiment)
+	if *optFlag && *experiment != "opt" {
+		run("opt")
+	}
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty list")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

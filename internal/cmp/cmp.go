@@ -101,6 +101,20 @@ type Results struct {
 	MemWrites    uint64 // dirty-line traffic to memory (L2 writebacks + L2-missing L1 writebacks)
 	ATDObserves  uint64
 	Repartitions uint64
+	// Demand-only L2 totals: program accesses through Access, excluding
+	// the L1 writeback updates folded into L2Accesses. This is the
+	// population a recorded optref trace replays, so OPT comparisons use
+	// these, not L2Accesses.
+	DemandAccesses uint64
+	DemandHits     uint64
+}
+
+// DemandHitRate returns DemandHits/DemandAccesses (0 for an idle run).
+func (r Results) DemandHitRate() float64 {
+	if r.DemandAccesses > 0 {
+		return float64(r.DemandHits) / float64(r.DemandAccesses)
+	}
+	return 0
 }
 
 // Throughput returns the summed per-core IPC.
@@ -127,7 +141,18 @@ type System struct {
 
 	memWrites uint64       // L1 writebacks that missed the L2 (straight to DRAM)
 	mem       *dram.Memory // nil = constant memory latency
+
+	demandAccesses uint64 // program accesses through Access (no writebacks)
+	demandHits     uint64
+	tracer         func(core int, addr uint64) // demand-access capture hook
 }
+
+// SetTracer registers a hook invoked for every demand L2 access (in
+// global interleaved order, before the access executes), the capture
+// point internal/optref records Belady replay traces from. Writebacks
+// are not traced — they are not program accesses. A nil fn disables
+// tracing.
+func (s *System) SetTracer(fn func(core int, addr uint64)) { s.tracer = fn }
 
 // New builds the system. The L2's replacement policy comes from cfg.L2;
 // when a CPA config is present its policy must match (checked by
@@ -190,7 +215,12 @@ func (s *System) Access(coreID int, addr uint64, write bool, now float64) (bool,
 	if s.cpa != nil {
 		s.cpa.OnAccess(coreID, addr)
 	}
+	if s.tracer != nil {
+		s.tracer(coreID, addr)
+	}
+	s.demandAccesses++
 	if s.l2.AccessRW(coreID, addr, write).Hit {
+		s.demandHits++
 		return true, 0
 	}
 	if s.mem != nil {
@@ -281,6 +311,9 @@ func (s *System) RunContext(ctx context.Context) (Results, error) {
 		L2Accesses: s.l2.Stats().TotalAccesses(),
 		L2Misses:   s.l2.Stats().TotalMisses(),
 		MemWrites:  s.l2.Stats().TotalWritebacks() + s.memWrites,
+
+		DemandAccesses: s.demandAccesses,
+		DemandHits:     s.demandHits,
 	}
 	for _, c := range s.cores {
 		if c.Cycles() > res.FinishCycles {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/experiments/sched"
 	"repro/internal/metrics"
+	"repro/internal/optref"
 	"repro/internal/power"
 	"repro/internal/profiling"
 	"repro/internal/replacement"
@@ -75,7 +76,8 @@ type Harness struct {
 	opt       Options
 	pool      *sched.Pool
 	runs      *sched.Cache[cmp.Results]
-	simulated atomic.Int64 // completed simulations (cache misses only)
+	optRuns   *sched.Cache[optref.Stats] // Belady replays, keyed per workload × size
+	simulated atomic.Int64               // completed simulations (cache misses only)
 }
 
 // New returns a harness for the options; zero fields take the
@@ -96,9 +98,10 @@ func New(opt Options) *Harness {
 	}
 	pool := sched.NewPool(opt.Parallelism)
 	return &Harness{
-		opt:  opt,
-		pool: pool,
-		runs: sched.NewCache[cmp.Results](pool),
+		opt:     opt,
+		pool:    pool,
+		runs:    sched.NewCache[cmp.Results](pool),
+		optRuns: sched.NewCache[optref.Stats](pool),
 	}
 }
 

@@ -1,0 +1,275 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resp"
+)
+
+// TestClaimBasics pins the budget-claim contract: claims are capped by
+// both the batch size and what is left, and a drained (or somehow
+// negative) budget claims zero.
+func TestClaimBasics(t *testing.T) {
+	var rem atomic.Int64
+	rem.Store(100)
+	if got := claim(&rem, 16); got != 16 {
+		t.Fatalf("claim(100,16) = %d, want 16", got)
+	}
+	if rem.Load() != 84 {
+		t.Fatalf("remaining = %d, want 84", rem.Load())
+	}
+	rem.Store(5)
+	if got := claim(&rem, 16); got != 5 {
+		t.Fatalf("claim(5,16) = %d, want the 5 remaining", got)
+	}
+	if got := claim(&rem, 16); got != 0 {
+		t.Fatalf("claim on empty budget = %d, want 0", got)
+	}
+	rem.Store(-3)
+	if got := claim(&rem, 16); got != 0 {
+		t.Fatalf("claim on negative budget = %d, want 0", got)
+	}
+	if rem.Load() != -3 {
+		t.Fatalf("claim on negative budget moved it to %d", rem.Load())
+	}
+}
+
+// TestRequeueAccounting pins requeue's two effects — the budget grows
+// back and the worker's retried counter advances — and that n<=0 is a
+// no-op.
+func TestRequeueAccounting(t *testing.T) {
+	var rem atomic.Int64
+	rem.Store(10)
+	var st workerStats
+	requeue(&rem, &st, 3)
+	if rem.Load() != 13 || st.retried != 3 {
+		t.Fatalf("after requeue(3): remaining=%d retried=%d, want 13/3", rem.Load(), st.retried)
+	}
+	requeue(&rem, &st, 0)
+	requeue(&rem, &st, -5)
+	if rem.Load() != 13 || st.retried != 3 {
+		t.Fatalf("no-op requeues changed state: remaining=%d retried=%d", rem.Load(), st.retried)
+	}
+}
+
+// TestClaimRequeueConservation hammers the shared budget from several
+// goroutines that claim batches and requeue a bounded number of them,
+// then checks the CAS loop's conservation law: everything claimed was
+// either acknowledged or requeued, the requeued portion was claimable
+// again, and the budget never went negative (a negative budget would
+// surface as claim handing out more than budget+requeued in total).
+func TestClaimRequeueConservation(t *testing.T) {
+	const budget, workers = 50_000, 8
+	var rem atomic.Int64
+	rem.Store(budget)
+	var acked, requeued atomic.Int64
+	var requeueQuota atomic.Int64
+	requeueQuota.Store(20_000) // bounded so the run terminates
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := uint64(id)*2654435761 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			var st workerStats
+			for {
+				n := claim(&rem, int(next()%31)+1)
+				if n == 0 {
+					requeued.Add(int64(st.retried))
+					return
+				}
+				// Requeue a random prefix while quota lasts; ack the rest.
+				back := int(next() % uint64(n+1))
+				if q := requeueQuota.Add(int64(-back)); q < 0 {
+					back = 0
+				}
+				requeue(&rem, &st, back)
+				acked.Add(int64(n - back))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := rem.Load(); got < 0 {
+		t.Fatalf("budget went negative: %d", got)
+	}
+	// Every requeued op re-enters the budget and is claimed (and so
+	// counted) again, so the claimed total is budget+requeued and the
+	// acked total collapses back to the budget — minus whatever leftover
+	// survives when a worker exits on a transiently-empty budget just
+	// before another worker requeues. Exactly: acked + leftover == budget.
+	if acked.Load()+rem.Load() != budget {
+		t.Fatalf("conservation broken: acked=%d leftover=%d requeued=%d budget=%d",
+			acked.Load(), rem.Load(), requeued.Load(), budget)
+	}
+	if acked.Load() < budget/2 {
+		t.Fatalf("only %d of %d acked — claim starved", acked.Load(), budget)
+	}
+}
+
+// flakyServer is an in-process RESP server with scripted misbehavior:
+// every busyEvery-th command is refused with -BUSY, and the first
+// `kills` connections are dropped after killAfter replies (flushed
+// first, so the cut lands mid-batch from the client's perspective).
+// executed counts only GET/SET commands actually answered — the number
+// the client-side ledger must reconcile against.
+type flakyServer struct {
+	ln        net.Listener
+	busyEvery int64
+	killAfter int64
+	kills     atomic.Int64
+	total     atomic.Int64
+	executed  atomic.Int64
+
+	mu    sync.Mutex
+	store map[string][]byte
+}
+
+func newFlakyServer(t *testing.T, busyEvery, killAfter, kills int64) *flakyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &flakyServer{ln: ln, busyEvery: busyEvery, killAfter: killAfter, store: map[string][]byte{}}
+	s.kills.Store(kills)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return s
+}
+
+func (s *flakyServer) serve(conn net.Conn) {
+	defer conn.Close()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+	var served int64
+	for {
+		args, err := r.ReadCommand()
+		if err != nil || len(args) == 0 {
+			return
+		}
+		if n := s.total.Add(1); s.busyEvery > 0 && n%s.busyEvery == 0 {
+			w.Error("BUSY throttled, retry later")
+		} else {
+			switch strings.ToUpper(string(args[0])) {
+			case "GET":
+				s.mu.Lock()
+				v, ok := s.store[string(args[1])]
+				s.mu.Unlock()
+				if ok {
+					w.Bulk(v)
+				} else {
+					w.Null()
+				}
+				s.executed.Add(1)
+			case "SET":
+				s.mu.Lock()
+				s.store[string(args[1])] = append([]byte(nil), args[2]...)
+				s.mu.Unlock()
+				w.SimpleString("OK")
+				s.executed.Add(1)
+			default:
+				w.Error("ERR unknown command")
+			}
+		}
+		served++
+		if r.Buffered() == 0 {
+			if w.Flush() != nil {
+				return
+			}
+		}
+		if s.killAfter > 0 && served == s.killAfter && s.kills.Add(-1) >= 0 {
+			w.Flush()
+			return
+		}
+	}
+}
+
+// TestRunReconnectLedger drives the full engine against a server that
+// drops connections mid-batch and throws -BUSY refusals, and checks
+// the at-least-once ledger the Reconnect contract promises:
+//
+//	R == cfg.Requests            every request acknowledged exactly once
+//	S >= R                       nothing acked that the server never ran
+//	S <= R + RetriedOps          every extra server-side execution is a
+//	                             retry the client accounted for
+//
+// where R is the client's acknowledged count and S the server's
+// executed count.
+func TestRunReconnectLedger(t *testing.T) {
+	// killAfter=23 is deliberately coprime with the pipeline depth (8),
+	// so cuts land mid-batch and force real requeues.
+	srv := newFlakyServer(t, 97, 23, 6)
+	cfg := Config{
+		Addr: srv.ln.Addr().String(), Conns: 3, Pipeline: 8, Requests: 3000,
+		KeySpace: 100, ValueSize: 32, SetRatio: 0.3, Seed: 7,
+		Reconnect: true, RequestTimeout: 2 * time.Second,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Requests != cfg.Requests {
+		t.Fatalf("acknowledged %d requests, want exactly %d", res.Requests, cfg.Requests)
+	}
+	if res.Gets+res.Sets != res.Requests {
+		t.Fatalf("gets(%d)+sets(%d) != requests(%d)", res.Gets, res.Sets, res.Requests)
+	}
+	if res.Hits+res.Misses != res.Gets {
+		t.Fatalf("hits(%d)+misses(%d) != gets(%d)", res.Hits, res.Misses, res.Gets)
+	}
+	if res.Reconnects < 1 {
+		t.Fatalf("server cut 6 connections but Reconnects = %d", res.Reconnects)
+	}
+	if res.RetriedOps < 1 {
+		t.Fatalf("mid-batch cuts happened but RetriedOps = %d", res.RetriedOps)
+	}
+	if res.RateLimited < 1 {
+		t.Fatalf("server threw -BUSY but RateLimited = %d", res.RateLimited)
+	}
+	if res.RetriedOps < res.RateLimited {
+		t.Fatalf("every -BUSY is a retry, but RetriedOps(%d) < RateLimited(%d)",
+			res.RetriedOps, res.RateLimited)
+	}
+	S, R := int(srv.executed.Load()), res.Requests
+	if S < R {
+		t.Fatalf("server executed %d < %d acknowledged — acks invented from nowhere", S, R)
+	}
+	if S > R+res.RetriedOps {
+		t.Fatalf("server executed %d > acknowledged %d + retried %d — lost accounting", S, R, res.RetriedOps)
+	}
+}
+
+// TestRunWithoutReconnectFailsFast: in benchmark mode (Reconnect off) a
+// dropped connection must surface as an error, not silent partial work.
+func TestRunWithoutReconnectFailsFast(t *testing.T) {
+	srv := newFlakyServer(t, 0, 1, 1<<30)
+	cfg := Config{
+		Addr: srv.ln.Addr().String(), Conns: 1, Pipeline: 8, Requests: 1000,
+		KeySpace: 100, Seed: 3, RequestTimeout: 2 * time.Second,
+	}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("Run succeeded against a connection-dropping server with Reconnect off")
+	}
+}

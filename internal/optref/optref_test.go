@@ -1,0 +1,281 @@
+package optref
+
+import (
+	"testing"
+
+	"repro/pkg/plru"
+)
+
+// TestBeladyHandPicked replays the textbook example on one 2-way set:
+// the trace a b c a b must keep `a` and `b` when `c` arrives (both are
+// reused, c is not... but Belady evicts the *farthest* reuse, which is
+// b), so the replay hits on the final `a` but misses the final `b`.
+func TestBeladyHandPicked(t *testing.T) {
+	tr := &Trace{}
+	for _, line := range []uint64{1, 2, 3, 1, 2} {
+		tr.Access(0, 0, line)
+	}
+	st, err := Replay(Config{Sets: 1, Ways: 2, Cores: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses() != 5 {
+		t.Fatalf("accesses = %d, want 5", st.Accesses())
+	}
+	// Misses: 1, 2, 3 (cold), then 3 evicted b=2 (farthest next use),
+	// so 1 hits and 2 misses again: 4 misses, 1 hit.
+	if st.Hits() != 1 || st.Misses() != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 1/4", st.Hits(), st.Misses())
+	}
+}
+
+// TestBeladyKeepsNearestReuse checks the eviction choice directly: with
+// ways {a: next use soon, b: next use far}, filling c must evict b.
+func TestBeladyKeepsNearestReuse(t *testing.T) {
+	tr := &Trace{}
+	tr.Access(0, 0, 10) // a
+	tr.Access(0, 0, 20) // b
+	tr.Access(0, 0, 30) // c fills, must evict b (reused later than a)
+	tr.Access(0, 0, 10) // a: hit if OPT kept it
+	tr.Access(0, 0, 20) // b: miss
+	tr.Access(0, 0, 30) // c: hit
+	st, err := Replay(Config{Sets: 1, Ways: 2, Cores: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits() != 2 {
+		t.Fatalf("hits = %d, want 2 (a and c retained)", st.Hits())
+	}
+}
+
+// TestLookupNeverFills drives Lookup misses and checks they leave no
+// residue; Store installs, after which the Lookup hits.
+func TestLookupNeverFills(t *testing.T) {
+	tr := &Trace{}
+	tr.Lookup(0, 0, 7)
+	tr.Lookup(0, 0, 7) // still a miss: the first lookup must not fill
+	tr.Store(0, 0, 7)
+	tr.Lookup(0, 0, 7) // now a hit
+	st, err := Replay(Config{Sets: 1, Ways: 4, Cores: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses() != 3 {
+		t.Fatalf("accesses = %d, want 3 (Store is uncounted)", st.Accesses())
+	}
+	if st.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", st.Hits())
+	}
+}
+
+// TestMaskConstrainedEviction gives two cores disjoint 1-way masks on a
+// full set and checks a core thrashing its own partition never evicts
+// the other core's resident line.
+func TestMaskConstrainedEviction(t *testing.T) {
+	masks := []plru.WayMask{plru.WayMask(0b01), plru.WayMask(0b10)}
+	tr := &Trace{}
+	tr.Access(1, 0, 100) // core 1's line (fills way 0: invalid-anywhere spill)
+	tr.Access(0, 0, 200) // core 0 fills the other way
+	// Core 0 thrashes: each access misses (1-way partition conflict)
+	// but must only evict inside mask {0b01}... line 100 landed in way
+	// 0 via the cold spill, so give core 1 a stable line in its own way
+	// first, then thrash core 0.
+	tr.Access(1, 0, 100)
+	for i := 0; i < 10; i++ {
+		tr.Access(0, 0, uint64(300+i%2))
+	}
+	tr.Access(1, 0, 100) // must still be resident
+	st, err := Replay(Config{Sets: 1, Ways: 2, Cores: 2, Masks: masks}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 1: first access cold miss, the rest hits.
+	c1 := st.PerCore[1]
+	if c1.Accesses != 3 || c1.Hits != 2 {
+		t.Fatalf("core 1 = %d/%d accesses/hits, want 3/2 (its line was evicted across the mask)", c1.Accesses, c1.Hits)
+	}
+}
+
+// TestMaskUpdateMidTrace starts both cores unpartitioned, then narrows
+// the masks mid-trace and checks the update takes effect at its recorded
+// position: core 0's post-update fill must evict inside its narrowed
+// mask (way 0, holding its own line) even though unconstrained Belady
+// would pick core 1's line, whose next use lies farther ahead.
+func TestMaskUpdateMidTrace(t *testing.T) {
+	tr := &Trace{}
+	tr.Access(0, 0, 1) // way 0
+	tr.Access(1, 0, 2) // way 1
+	tr.SetMasks([]plru.WayMask{plru.WayMask(0b01), plru.WayMask(0b10)})
+	tr.Access(0, 0, 3) // must evict line 1 (mask), not line 2 (farthest)
+	tr.Access(0, 0, 1) // miss if the mask applied, hit if it was ignored
+	tr.Access(1, 0, 2) // hit if the mask applied, miss if it was ignored
+	st, err := Replay(Config{Sets: 1, Ways: 2, Cores: 2}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 := st.PerCore[0]; c0.Hits != 0 {
+		t.Fatalf("core 0 hits = %d, want 0 (narrowed mask must confine its evictions)", c0.Hits)
+	}
+	if c1 := st.PerCore[1]; c1.Hits != 1 {
+		t.Fatalf("core 1 hits = %d, want 1 (its line crossed-mask evicted)", c1.Hits)
+	}
+}
+
+// replayOnline replays a demand-access trace through a plru policy with
+// exactly optref's fill rules (invalid-in-mask, invalid-anywhere,
+// mask-constrained victim), so its hit count is directly comparable to
+// Replay's.
+func replayOnline(cfg Config, tr *Trace, kind plru.Kind, seed uint64) Stats {
+	pol := plru.New(kind, cfg.Sets, cfg.Ways, cfg.Cores, seed)
+	full := plru.Full(cfg.Ways)
+	masks := make([]plru.WayMask, cfg.Cores)
+	for i := range masks {
+		if cfg.Masks != nil {
+			masks[i] = cfg.Masks[i] & full
+		} else {
+			masks[i] = full
+		}
+	}
+	pol.SetPartition(masks)
+	slotLine := make([]uint64, cfg.Sets*cfg.Ways)
+	valid := make([]plru.WayMask, cfg.Sets)
+	resident := make(map[setLine]int32)
+	stats := Stats{PerCore: make([]CoreStats, cfg.Cores)}
+	for _, ev := range tr.events {
+		if ev.Op != OpAccess {
+			panic("replayOnline handles demand traces only")
+		}
+		st := &stats.PerCore[ev.Core]
+		st.Accesses++
+		k := setLine{set: ev.Set, line: ev.Line}
+		base := int(ev.Set) * cfg.Ways
+		if w, ok := resident[k]; ok {
+			st.Hits++
+			pol.Touch(int(ev.Set), int(w), int(ev.Core))
+			continue
+		}
+		mask := masks[ev.Core]
+		way := -1
+		if inv := mask &^ valid[ev.Set]; inv != 0 {
+			way = inv.Nth(0)
+		} else if inv := full &^ valid[ev.Set]; inv != 0 {
+			way = inv.Nth(0)
+		} else {
+			way = pol.Victim(int(ev.Set), int(ev.Core), mask)
+			delete(resident, setLine{set: ev.Set, line: slotLine[base+way]})
+		}
+		slotLine[base+way] = ev.Line
+		valid[ev.Set] = valid[ev.Set].With(way)
+		resident[k] = int32(way)
+		pol.Fill(int(ev.Set), way, int(ev.Core), uint8(ev.Line))
+	}
+	return stats
+}
+
+// TestOPTDominatesOnlinePolicies generates random multi-core demand
+// traces (unpartitioned, where Belady's exchange argument is exact) and
+// asserts OPT's hit count is >= every online policy's on the identical
+// trace — the property that makes the competitive-ratio scoreboard's
+// denominator an upper bound.
+func TestOPTDominatesOnlinePolicies(t *testing.T) {
+	rng := uint64(0xbe1ad7)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 4; trial++ {
+		cfg := Config{Sets: 8, Ways: 4, Cores: 2}
+		tr := &Trace{}
+		lines := uint64(cfg.Sets * cfg.Ways * 3)
+		for i := 0; i < 20_000; i++ {
+			line := next() % lines
+			tr.Access(int(next()%uint64(cfg.Cores)), int(line)%cfg.Sets, line)
+		}
+		opt, err := Replay(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range plru.Kinds() {
+			online := replayOnline(cfg, tr, kind, 42)
+			if online.Hits() > opt.Hits() {
+				t.Errorf("trial %d: %v hits %d > OPT hits %d", trial, kind, online.Hits(), opt.Hits())
+			}
+		}
+		if opt.Accesses() != 20_000 {
+			t.Fatalf("trial %d: OPT accesses = %d, want 20000", trial, opt.Accesses())
+		}
+	}
+}
+
+// TestReplayDeterministic replays the same trace twice and requires
+// byte-identical stats.
+func TestReplayDeterministic(t *testing.T) {
+	rng := uint64(9)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	cfg := Config{Sets: 5, Ways: 3, Cores: 3}
+	tr := &Trace{}
+	for i := 0; i < 5000; i++ {
+		line := next() % 64
+		core := int(next() % 3)
+		switch next() % 3 {
+		case 0:
+			tr.Access(core, int(line)%5, line)
+		case 1:
+			tr.Lookup(core, int(line)%5, line)
+		default:
+			tr.Store(core, int(line)%5, line)
+		}
+	}
+	a, err := Replay(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.PerCore {
+		if a.PerCore[c] != b.PerCore[c] {
+			t.Fatalf("core %d diverges across replays: %+v vs %+v", c, a.PerCore[c], b.PerCore[c])
+		}
+	}
+}
+
+// TestReplayValidation covers the error paths.
+func TestReplayValidation(t *testing.T) {
+	tr := &Trace{}
+	tr.Access(0, 9, 1)
+	if _, err := Replay(Config{Sets: 4, Ways: 2, Cores: 1}, tr); err == nil {
+		t.Fatal("out-of-range set not rejected")
+	}
+	tr2 := &Trace{}
+	tr2.Access(3, 0, 1)
+	if _, err := Replay(Config{Sets: 4, Ways: 2, Cores: 2}, tr2); err == nil {
+		t.Fatal("out-of-range core not rejected")
+	}
+	if _, err := Replay(Config{Sets: 0, Ways: 2, Cores: 1}, &Trace{}); err == nil {
+		t.Fatal("zero sets not rejected")
+	}
+	if _, err := Replay(Config{Sets: 1, Ways: 2, Cores: 2, Masks: []plru.WayMask{1}}, &Trace{}); err == nil {
+		t.Fatal("mask/core count mismatch not rejected")
+	}
+}
+
+// TestTraceLen counts reference events only.
+func TestTraceLen(t *testing.T) {
+	tr := &Trace{}
+	tr.Access(0, 0, 1)
+	tr.SetMasks([]plru.WayMask{1})
+	tr.Lookup(0, 0, 1)
+	tr.Store(0, 0, 2)
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}

@@ -31,6 +31,9 @@ const (
 // "AWRP", "ARC", case-sensitive) into a Kind.
 func ParseKind(s string) (Kind, error) { return plru.ParseKind(s) }
 
+// Kinds returns every registered policy kind. See plru.Kinds.
+func Kinds() []Kind { return plru.Kinds() }
+
 // WayMask is a bitmask over cache ways. See plru.WayMask.
 type WayMask = plru.WayMask
 

@@ -1,0 +1,56 @@
+package workload
+
+// Adversarial key generation: streams engineered to collide in a
+// keyed-hash cache's index structure. The generator is deliberately
+// ignorant of any particular cache — the caller supplies a collision
+// classifier (e.g. shard|set|tag derived from pkg/cpacache's seeded
+// hash), and the generator scans the key space for keys falling into
+// the same class. With an 8-bit SWAR tag a class holds 1/2^7 of a set's
+// candidate keys, so storms that pile dozens of same-class keys onto
+// one set drive exactly the probe path a birthday-accident workload
+// almost never exercises: every tag word match is a candidate, and only
+// the full-key confirm separates them.
+
+// CollisionKeys scans keys upward from start and returns up to n keys
+// (start first, when it qualifies against itself — it always does) that
+// share start's collision class: class(k) == class(start). The scan
+// gives up after maxScan candidates, returning what it found, so
+// callers can bound worst-case work; maxScan <= 0 means 1<<22.
+func CollisionKeys(class func(uint64) uint64, start uint64, n, maxScan int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	if maxScan <= 0 {
+		maxScan = 1 << 22
+	}
+	want := class(start)
+	keys := make([]uint64, 0, n)
+	for k, scanned := start, 0; scanned < maxScan && len(keys) < n; scanned++ {
+		if class(k) == want {
+			keys = append(keys, k)
+		}
+		k++
+	}
+	return keys
+}
+
+// InterleaveKeys round-robins several key groups into one stream:
+// group0[0], group1[0], ..., group0[1], ... Groups may have different
+// lengths; exhausted groups drop out. Interleaving collision classes
+// keeps every class's set under simultaneous pressure instead of
+// storming them one at a time.
+func InterleaveKeys(groups ...[]uint64) []uint64 {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	out := make([]uint64, 0, total)
+	for i := 0; len(out) < total; i++ {
+		for _, g := range groups {
+			if i < len(g) {
+				out = append(out, g[i])
+			}
+		}
+	}
+	return out
+}

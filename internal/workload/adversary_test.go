@@ -1,0 +1,57 @@
+package workload
+
+import "testing"
+
+func TestCollisionKeys(t *testing.T) {
+	// Class = low 6 bits: every 64th key collides.
+	class := func(k uint64) uint64 { return k & 63 }
+	keys := CollisionKeys(class, 5, 10, 0)
+	if len(keys) != 10 {
+		t.Fatalf("got %d keys, want 10", len(keys))
+	}
+	if keys[0] != 5 {
+		t.Fatalf("first key = %d, want the start key 5", keys[0])
+	}
+	for i, k := range keys {
+		if class(k) != class(5) {
+			t.Fatalf("key %d (%d) escapes the collision class", i, k)
+		}
+		if i > 0 && k <= keys[i-1] {
+			t.Fatalf("keys not strictly increasing: %v", keys)
+		}
+	}
+}
+
+func TestCollisionKeysBoundedScan(t *testing.T) {
+	// A class nothing else matches: the scan must stop at maxScan and
+	// return only the start key.
+	class := func(k uint64) uint64 {
+		if k == 7 {
+			return 1
+		}
+		return 0
+	}
+	keys := CollisionKeys(class, 7, 5, 1000)
+	if len(keys) != 1 || keys[0] != 7 {
+		t.Fatalf("got %v, want just [7]", keys)
+	}
+	if got := CollisionKeys(class, 7, 0, 0); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+}
+
+func TestInterleaveKeys(t *testing.T) {
+	got := InterleaveKeys([]uint64{1, 2, 3}, []uint64{10, 20}, []uint64{100})
+	want := []uint64{1, 10, 100, 2, 20, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out := InterleaveKeys(); len(out) != 0 {
+		t.Fatalf("no-group interleave = %v", out)
+	}
+}

@@ -371,7 +371,7 @@ func TestDifferentialAgainstLinearModel(t *testing.T) {
 	}
 	const polSeed = 99
 	for _, mode := range recencyModes {
-		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random, plru.AWRP, plru.ARC} {
+		for _, pol := range diffKinds {
 			for _, g := range geos {
 				if pol == plru.BT && g.ways&(g.ways-1) != 0 {
 					continue
@@ -466,7 +466,7 @@ func TestDifferentialTTLAndCost(t *testing.T) {
 	const polSeed = 123
 	costOf := func(k, v uint64) uint64 { return k%7 + 1 }
 	for _, mode := range recencyModes {
-		for _, pol := range []plru.Kind{plru.LRU, plru.NRU, plru.BT, plru.Random, plru.AWRP, plru.ARC} {
+		for _, pol := range diffKinds {
 			for _, g := range geos {
 				t.Run(fmt.Sprintf("%s/%v/%dx%dx%d", mode.name, pol, g.shards, g.sets, g.ways), func(t *testing.T) {
 					clk := newFakeClock()
@@ -605,20 +605,23 @@ func TestDifferentialTTLAndCost(t *testing.T) {
 // TestDifferentialBatchOps replays a workload through batch APIs on one
 // cache and per-key APIs on another sharing the same hash seed; the final
 // contents, stats and per-key results must match (batching only changes
-// cross-shard interleaving, which is semantically inert). Both recency
-// configurations run: the default exercises the lock-free per-key
-// GetBatch, the immediate one the shard-grouped single-lock walk.
+// cross-shard interleaving, which is semantically inert). Every policy
+// kind runs in both recency configurations: the default exercises the
+// lock-free per-key GetBatch, the immediate one the shard-grouped
+// single-lock walk.
 func TestDifferentialBatchOps(t *testing.T) {
 	for _, mode := range recencyModes {
-		t.Run(mode.name, func(t *testing.T) { diffBatchOps(t, mode.opts...) })
+		for _, pol := range diffBatchKinds {
+			t.Run(mode.name+"/"+pol.String(), func(t *testing.T) { diffBatchOps(t, pol, mode.opts...) })
+		}
 	}
 }
 
-func diffBatchOps(t *testing.T, modeOpts ...Option) {
+func diffBatchOps(t *testing.T, pol plru.Kind, modeOpts ...Option) {
 	build := func() *Cache[uint64, uint64] {
 		c, err := New[uint64, uint64](append([]Option{
 			WithShards(4), WithSets(8), WithWays(8),
-			WithPolicy(plru.BT), WithPartitions(2), WithSeed(5),
+			WithPolicy(pol), WithPartitions(2), WithSeed(5),
 		}, modeOpts...)...)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,126 @@
+package cpacache
+
+import (
+	"testing"
+
+	"repro/pkg/plru"
+)
+
+// The differential suites iterate these package-level kind sets instead
+// of inline literals so that TestKindCoverageMatrix can prove — not just
+// hope — that every registered policy kind is exercised by every
+// feature. A new kind added to pkg/plru shows up in plru.Kinds() and
+// the matrix fails until each suite (and each pinned data table, like
+// the OPT envelopes) covers it.
+var (
+	// diffKinds drives TestDifferentialAgainstLinearModel (base Get/
+	// Set/Delete/quota semantics) and TestDifferentialTTLAndCost (TTL
+	// expiry, cost-weighted admission, per-tenant byte budgets).
+	diffKinds = plru.Kinds()
+
+	// diffBatchKinds drives TestDifferentialBatchOps (GetBatch/SetBatch
+	// vs per-key equivalence).
+	diffBatchKinds = plru.Kinds()
+
+	// autoselectBaseKinds drives TestAutoSelectEveryBaseKind: every
+	// kind must be usable as the base policy under autoselect.
+	autoselectBaseKinds = plru.Kinds()
+)
+
+// TestKindCoverageMatrix enumerates policy-kind coverage across the
+// feature suites: TTL+cost+budgets (differential), batch ops,
+// autoselect bases, the collision-storm differential, and the pinned
+// OPT competitive envelopes. It fails when any plru.Kinds() entry is
+// missing from any of them, so registering a seventh policy kind
+// cannot silently ship without full test coverage.
+func TestKindCoverageMatrix(t *testing.T) {
+	all := plru.Kinds()
+	if len(all) < 6 {
+		t.Fatalf("plru.Kinds() = %v — the registry shrank below the six known kinds", all)
+	}
+
+	features := []struct {
+		name  string
+		kinds []plru.Kind
+	}{
+		{"differential (base+TTL+cost+budgets)", diffKinds},
+		{"batch", diffBatchKinds},
+		{"autoselect-base", autoselectBaseKinds},
+	}
+	for _, f := range features {
+		have := make(map[plru.Kind]bool, len(f.kinds))
+		for _, k := range f.kinds {
+			have[k] = true
+		}
+		for _, k := range all {
+			if !have[k] {
+				t.Errorf("feature %q does not cover policy kind %v", f.name, k)
+			}
+		}
+	}
+
+	// The OPT envelope table is literal data, not a Kinds() loop: a new
+	// kind needs a measured band pinned for every workload.
+	for _, wl := range optEnvWorkloads {
+		bands, ok := optEnvelopes[wl]
+		if !ok {
+			t.Errorf("optEnvelopes has no entry for workload %q", wl)
+			continue
+		}
+		for _, k := range all {
+			if _, ok := bands[k]; !ok {
+				t.Errorf("optEnvelopes[%q] pins no band for policy kind %v", wl, k)
+			}
+		}
+	}
+}
+
+// TestAutoSelectEveryBaseKind builds an autoselecting cache with every
+// registered kind as the base policy — including Random, which the
+// default candidate set excludes but which is perfectly legal as a
+// base — and drives a mixed workload through two tenants. The test
+// asserts construction succeeds, the serving policies stay within the
+// candidate set, and every hit returns the stored value.
+func TestAutoSelectEveryBaseKind(t *testing.T) {
+	for _, base := range autoselectBaseKinds {
+		t.Run(base.String(), func(t *testing.T) {
+			c, err := New[uint64, uint64](
+				WithShards(1), WithSets(8), WithWays(8),
+				WithPolicy(base), WithPartitions(2), WithSeed(77),
+				WithPolicyAutoSelect(),
+			)
+			if err != nil {
+				t.Fatalf("base %v: %v", base, err)
+			}
+			candidates := make(map[plru.Kind]bool, len(c.activeKinds))
+			for _, k := range c.activeKinds {
+				candidates[k] = true
+			}
+			if !candidates[base] {
+				t.Fatalf("base %v missing from candidate set %v", base, c.activeKinds)
+			}
+
+			rng := uint64(base)<<8 | 5
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < 12_000; i++ {
+				key := next() % 192 // ~3x capacity: real eviction pressure
+				tenant := int(next() % 2)
+				if next()%4 == 0 {
+					c.SetTenant(tenant, key, key*3)
+				} else if v, ok := c.GetTenant(tenant, key); ok && v != key*3 {
+					t.Fatalf("step %d: Get(%d,%d) = %d, want %d", i, tenant, key, v, key*3)
+				}
+			}
+			for _, p := range c.TenantPolicies() {
+				if !candidates[p] {
+					t.Fatalf("tenant policy %v escaped the candidate set %v", p, c.activeKinds)
+				}
+			}
+		})
+	}
+}
