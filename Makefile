@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate bench-multicore bench-gate-server bench-record opt-scoreboard alloc-guard fuzz-smoke serve loadtest server-smoke chaos-smoke fmt fmt-check vet staticcheck vulncheck docs-check ci
+.PHONY: build examples test race bench bench-cpacache bench-compare bench-gate bench-multicore bench-gate-server bench-record opt-scoreboard alloc-guard fuzz-smoke serve loadtest server-smoke chaos-smoke mem-storm fmt fmt-check vet staticcheck vulncheck docs-check ci
 
 build:
 	$(GO) build ./...
@@ -157,9 +157,19 @@ server-smoke:
 # its full budget with zero lost acknowledged writes, over-cap connects
 # are refused, a client-triggered panic is contained, and the process
 # still drains cleanly.
-chaos-smoke:
+chaos-smoke: mem-storm
 	$(GO) test -race -count=1 ./internal/faultinject/
 	$(GO) test -race -count=1 -run '^TestDaemonChaosSmoke$$' -v ./cmd/cpacached/
+
+# Memory-pressure chaos lane: a race-instrumented cpacached with a tiny
+# -max-bytes cap stormed with 1 KB short-TTL values. Asserts the
+# governor's three promises under fire: used_memory never exceeds the
+# cap by more than the writers' in-flight entries, no acknowledged write
+# is lost (-OOM refusals are requeued, never acked), and the server
+# recovers to pressure_state:ok with ordinary writes flowing once the
+# storm drains.
+mem-storm:
+	$(GO) test -race -count=1 -run '^TestDaemonMemStorm$$' -v ./cmd/cpacached/
 
 # The hot-path allocation guards (testing.AllocsPerRun) run without -race:
 # instrumentation skews the accounting. Alloc regressions fail here fast

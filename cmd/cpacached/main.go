@@ -69,6 +69,10 @@ func main() {
 		policy       = flag.String("policy", "bt", "replacement policy: lru, nru, bt, random, awrp, arc")
 		autoSelect   = flag.Bool("policy-autoselect", false, "score candidate policies online and switch per tenant at rebalance boundaries (pair with -auto-rebalance)")
 		defaultTTL   = flag.Duration("default-ttl", 0, "TTL applied to SETs without EX/PX (0 = none)")
+		maxBytes     = flag.Uint64("max-bytes", 0, "cap on resident bytes (key+value); inserts over the cap evict-on-write and writes past the high watermark get -OOM (0 = uncapped)")
+		hardBudgets  = flag.Bool("hard-budgets", false, "enforce per-tenant byte budgets evict-on-write instead of only steering rebalances")
+		highMark     = flag.Float64("high-watermark", 0, "fraction of -max-bytes at which writes get -OOM (0 = default 0.9)")
+		lowMark      = flag.Float64("low-watermark", 0, "fraction of -max-bytes below which OOM/aggressive pressure clears (0 = default 0.75)")
 		rebalance    = flag.Duration("auto-rebalance", 0, "background repartition interval (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight pipelines on shutdown")
 		maxConns     = flag.Int("max-conns", 0, "max concurrent client connections; over-cap connects get -ERR and close (0 = unlimited)")
@@ -99,6 +103,10 @@ func main() {
 		PolicyAutoSelect:  *autoSelect,
 		Tenants:           tenants,
 		DefaultTTL:        *defaultTTL,
+		MaxBytes:          *maxBytes,
+		HardBudgets:       *hardBudgets,
+		HighWatermark:     *highMark,
+		LowWatermark:      *lowMark,
 		AutoRebalance:     *rebalance,
 		MaxConns:          *maxConns,
 		MaxConnsPerTenant: *maxPerTenant,

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// memInfo is one INFO # Memory frame scraped off the daemon.
+type memInfo struct {
+	used     uint64
+	pressure string
+}
+
+func scrapeMemInfo(c *chaosClient, deadline time.Time) (memInfo, error) {
+	rep, err := c.do(deadline, "INFO")
+	if err != nil {
+		return memInfo{}, err
+	}
+	var mi memInfo
+	for _, line := range strings.Split(string(rep.Str), "\r\n") {
+		if v, ok := strings.CutPrefix(line, "used_memory:"); ok {
+			mi.used, _ = strconv.ParseUint(v, 10, 64)
+		}
+		if v, ok := strings.CutPrefix(line, "pressure_state:"); ok {
+			mi.pressure = v
+		}
+	}
+	if mi.pressure == "" {
+		return memInfo{}, fmt.Errorf("INFO frame has no pressure_state:\n%s", rep.Str)
+	}
+	return mi, nil
+}
+
+// TestDaemonMemStorm is the memory-pressure chaos lane: the race-
+// instrumented daemon boots with a 256 KB byte cap and is stormed with
+// 1 KB short-TTL values — each write a meaningful fraction of the whole
+// budget — while a monitor scrapes INFO throughout. The governor must
+// hold the line three ways at once:
+//
+//   - containment: used_memory never exceeds the cap by more than the
+//     writers' in-flight entries, no matter how hard the storm pushes;
+//   - no lost acks: the load engine requeues -OOM refusals instead of
+//     acknowledging them, so its completed budget proves every
+//     acknowledged write actually reached the cache;
+//   - recovery: once the storm stops, expiry drains the pressure back
+//     to ok and ordinary writes flow again, read-your-write intact,
+//     and SIGTERM still drains cleanly.
+func TestDaemonMemStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon")
+	}
+	const (
+		maxBytes  = 256 << 10
+		valueSize = 1024
+		conns     = 4
+	)
+	addr, cmd, logDone, logged := startDaemon(t,
+		"-shards", "2", "-sets", "256", "-ways", "8", "-policy", "lru",
+		"-max-bytes", strconv.Itoa(maxBytes),
+	)
+
+	// Monitor: scrape INFO continuously during the storm, tracking the
+	// high-water mark of used_memory and the ladder states visited.
+	monStop := make(chan struct{})
+	var monWG sync.WaitGroup
+	var monMu sync.Mutex
+	var maxUsed uint64
+	states := map[string]bool{}
+	var monErr error
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		mc := &chaosClient{t: t, addr: addr}
+		defer mc.close()
+		for {
+			select {
+			case <-monStop:
+				return
+			default:
+			}
+			mi, err := scrapeMemInfo(mc, time.Now().Add(2*time.Second))
+			monMu.Lock()
+			if err != nil {
+				monErr = err
+				monMu.Unlock()
+				return
+			}
+			if mi.used > maxUsed {
+				maxUsed = mi.used
+			}
+			states[mi.pressure] = true
+			monMu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// The storm: write-heavy 1 KB values over a key space 8× the cap,
+	// every entry on a short TTL so expiry — not only eviction — drains
+	// pressure. The engine acknowledges a request only when the server
+	// executed it; -OOM refusals are requeued and retried after the
+	// ladder clears, so a completed run means zero acked writes lost.
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:      addr,
+		Conns:     conns,
+		Pipeline:  8,
+		Requests:  6_000,
+		KeySpace:  2_000,
+		ValueSize: valueSize,
+		SetRatio:  0.8,
+		TTL:       400 * time.Millisecond,
+
+		Reconnect:      true,
+		RequestTimeout: 2 * time.Second,
+	})
+	close(monStop)
+	monWG.Wait()
+	if err != nil {
+		t.Fatalf("storm loadgen: %v", err)
+	}
+	monMu.Lock()
+	peak, visited, scrapeErr := maxUsed, states, monErr
+	monMu.Unlock()
+	if scrapeErr != nil {
+		t.Fatalf("INFO monitor: %v", scrapeErr)
+	}
+	if res.Requests < 6_000 {
+		t.Fatalf("storm run incomplete — acknowledged writes were lost: %+v", res)
+	}
+	if res.OOMRejected == 0 {
+		t.Fatalf("storm never drew an -OOM refusal; the cap was not exercised: %+v", res)
+	}
+	if res.ErrReplys > 0 {
+		t.Fatalf("unexpected non-OOM error replies during the storm: %+v", res)
+	}
+	// Containment: the gauge may transiently exceed the cap only by the
+	// writers' in-flight entries (key + value + pipeline slack each).
+	slack := uint64(conns * (valueSize + 1024))
+	if peak > maxBytes+slack {
+		t.Fatalf("used_memory peaked at %d, above cap %d + in-flight slack %d", peak, maxBytes, slack)
+	}
+	if peak == 0 {
+		t.Fatal("monitor never saw a byte resident; the storm was vacuous")
+	}
+	if !visited["oom"] && !visited["aggressive"] {
+		t.Fatalf("INFO never reported pressure (states seen: %v) despite %d OOM refusals", visited, res.OOMRejected)
+	}
+
+	// Recovery: the 400 ms TTLs lapse, the sweeper (running aggressive
+	// while pressure lasts) reclaims them, and the ladder steps back to
+	// ok without any client intervention.
+	rc := &chaosClient{t: t, addr: addr}
+	defer rc.close()
+	recovered := false
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		mi, err := scrapeMemInfo(rc, time.Now().Add(2*time.Second))
+		if err != nil {
+			t.Fatalf("post-storm INFO: %v", err)
+		}
+		if mi.pressure == "ok" {
+			recovered = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatalf("pressure never cleared after the storm drained:\n%s", logged())
+	}
+
+	// Ordinary service is back: 50 small writes all land and read back.
+	for i := 0; i < 50; i++ {
+		key, val := fmt.Sprintf("post:%d", i), fmt.Sprintf("v%d", i)
+		rep, err := rc.do(time.Now().Add(5*time.Second), "SET", key, val)
+		if err != nil || rep.IsErr() {
+			t.Fatalf("post-storm SET %d: %+v %v", i, rep, err)
+		}
+		rep, err = rc.do(time.Now().Add(5*time.Second), "GET", key)
+		if err != nil || string(rep.Str) != val {
+			t.Fatalf("post-storm GET %d = %+v %v, want %q", i, rep, err, val)
+		}
+	}
+
+	// And the process still drains cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-logDone:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("cpacached stderr never closed after SIGTERM:\n%s", logged())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("cpacached exited dirty after SIGTERM: %v\n%s", err, logged())
+	}
+	if !strings.Contains(logged(), "cpacached drained") {
+		t.Fatalf("drain never logged:\n%s", logged())
+	}
+}

@@ -85,9 +85,9 @@ func main() {
 		res.Gets, res.Sets, 100*res.HitRate, res.ErrReplys)
 	fmt.Printf("  latency p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
 		res.P50, res.P90, res.P99, res.P999, res.Max)
-	if *reconnect || res.RateLimited > 0 || res.RejectedConns > 0 || res.RetriedOps > 0 || res.Reconnects > 0 {
-		fmt.Printf("  rate_limited=%d rejected_conns=%d retried_ops=%d reconnects=%d\n",
-			res.RateLimited, res.RejectedConns, res.RetriedOps, res.Reconnects)
+	if *reconnect || res.RateLimited > 0 || res.RejectedConns > 0 || res.OOMRejected > 0 || res.RetriedOps > 0 || res.Reconnects > 0 {
+		fmt.Printf("  rate_limited=%d rejected_conns=%d oom_rejected=%d retried_ops=%d reconnects=%d\n",
+			res.RateLimited, res.RejectedConns, res.OOMRejected, res.RetriedOps, res.Reconnects)
 	}
 
 	if *jsonOut == "" {
@@ -118,6 +118,7 @@ func main() {
 			"p999_us":        float64(res.P999.Microseconds()),
 			"rate_limited":   float64(res.RateLimited),
 			"rejected_conns": float64(res.RejectedConns),
+			"oom_rejected":   float64(res.OOMRejected),
 			"retried_ops":    float64(res.RetriedOps),
 			"reconnects":     float64(res.Reconnects),
 		},

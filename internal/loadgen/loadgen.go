@@ -88,12 +88,14 @@ type Result struct {
 
 	// Overload accounting (nonzero only against a faulty or throttling
 	// server): RateLimited counts -BUSY refusals, RejectedConns counts
-	// max-clients rejections, RetriedOps counts requests returned to
-	// the budget after a refusal or a dead connection, Reconnects
-	// counts re-dials. Refused/retried requests are not in Requests;
-	// a request counts once, when acknowledged.
+	// max-clients rejections, OOMRejected counts -OOM memory-pressure
+	// write refusals, RetriedOps counts requests returned to the budget
+	// after a refusal or a dead connection, Reconnects counts re-dials.
+	// Refused/retried requests are not in Requests; a request counts
+	// once, when acknowledged.
 	RateLimited   int `json:"rate_limited"`
 	RejectedConns int `json:"rejected_conns"`
+	OOMRejected   int `json:"oom_rejected"`
 	RetriedOps    int `json:"retried_ops"`
 	Reconnects    int `json:"reconnects"`
 
@@ -168,6 +170,7 @@ func (h *hist) percentile(q float64) time.Duration {
 type workerStats struct {
 	gets, sets, hits, misses, errs int
 	rateLimited, rejectedConns     int
+	oomRejected                    int
 	retried, reconnects            int
 	lat                            hist
 }
@@ -213,6 +216,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		total.errs += stats[i].errs
 		total.rateLimited += stats[i].rateLimited
 		total.rejectedConns += stats[i].rejectedConns
+		total.oomRejected += stats[i].oomRejected
 		total.retried += stats[i].retried
 		total.reconnects += stats[i].reconnects
 		total.lat.merge(&stats[i].lat)
@@ -227,6 +231,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		ErrReplys:     total.errs,
 		RateLimited:   total.rateLimited,
 		RejectedConns: total.rejectedConns,
+		OOMRejected:   total.oomRejected,
 		RetriedOps:    total.retried,
 		Reconnects:    total.reconnects,
 		Elapsed:       elapsed,
@@ -449,6 +454,13 @@ func (s *session) run(ctx context.Context) (progressed bool, err error) {
 					// The accept-time cap rejection is not a reply to
 					// our command — the op never executed.
 					st.rejectedConns++
+					requeue(s.remaining, st, 1)
+				case strings.HasPrefix(string(msg), "OOM"):
+					// Memory pressure refused the write: nothing was
+					// stored, so the op is NOT acknowledged. Requeue it
+					// to run after the server recovers — an acked
+					// request always reached the cache.
+					st.oomRejected++
 					requeue(s.remaining, st, 1)
 				default:
 					st.errs++

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resp"
+	"repro/pkg/plru"
+)
+
+// infoField digs one key:value line out of an INFO reply.
+func infoField(t *testing.T, c *client, key string) string {
+	t.Helper()
+	rep := c.do("INFO")
+	if rep.Kind != resp.KindBulk {
+		t.Fatalf("INFO => %+v, want bulk", rep)
+	}
+	for _, line := range strings.Split(string(rep.Str), "\r\n") {
+		if v, ok := strings.CutPrefix(line, key+":"); ok {
+			return v
+		}
+	}
+	t.Fatalf("INFO has no %q field:\n%s", key, rep.Str)
+	return ""
+}
+
+// TestServerMemoryGovernor walks a byte-capped server up the pressure
+// ladder and back down: filling drives it into the OOM state, where
+// writes get redis's -OOM refusal while reads, TTL queries, INFO and —
+// critically — DEL keep working; deleting below the low watermark
+// recovers the server and writes flow again. CONFIG GET reports the
+// real cap and eviction policy throughout.
+func TestServerMemoryGovernor(t *testing.T) {
+	const maxBytes = 4096
+	s := startServer(t, Config{
+		Shards: 1, Sets: 64, Ways: 8, Policy: plru.LRU,
+		MaxBytes:      maxBytes,
+		HighWatermark: 0.9,
+		LowWatermark:  0.75,
+	})
+	c := dial(t, s)
+
+	// Each entry costs ~64 bytes (4-byte-ish key + 60-byte value); the
+	// slot capacity (512 lines) is far above the byte cap, so the cap is
+	// what binds.
+	val := strings.Repeat("v", 60)
+	var accepted, oomAt int
+	for i := 0; i < 200; i++ {
+		rep := c.do("SET", "k"+strconv.Itoa(i), val)
+		if rep.IsErr() {
+			if !strings.HasPrefix(string(rep.Str), "OOM command not allowed when used memory > 'maxmemory'") {
+				t.Fatalf("SET refused with %q, want redis's OOM message", rep.Str)
+			}
+			oomAt = i
+			break
+		}
+		accepted++
+	}
+	if oomAt == 0 {
+		t.Fatalf("200 inserts (%d accepted) never drove the server into OOM", accepted)
+	}
+	if got := infoField(t, c, "pressure_state"); got != "oom" {
+		t.Fatalf("pressure_state = %q after OOM refusal, want oom", got)
+	}
+	used, err := strconv.ParseUint(infoField(t, c, "used_memory"), 10, 64)
+	if err != nil || used == 0 || used > maxBytes {
+		t.Fatalf("used_memory = %q (err %v), want 1..%d", infoField(t, c, "used_memory"), err, maxBytes)
+	}
+	if got := infoField(t, c, "maxmemory"); got != strconv.Itoa(maxBytes) {
+		t.Fatalf("maxmemory = %q, want %d", got, maxBytes)
+	}
+	if n, _ := strconv.Atoi(infoField(t, c, "oom_rejected_ops")); n == 0 {
+		t.Fatal("oom_rejected_ops stayed 0 after an OOM refusal")
+	}
+
+	// Reads, existence probes and TTL management all keep working at OOM.
+	c.expectBulk(val, "GET", "k"+strconv.Itoa(accepted-1))
+	c.expectInt(1, "EXISTS", "k"+strconv.Itoa(accepted-1))
+	c.expectInt(1, "EXPIRE", "k"+strconv.Itoa(accepted-1), "100")
+	c.expectErrPrefix("OOM", "MSET", "a", "1", "b", "2")
+
+	// CONFIG GET reports the truth on a capped server.
+	rep := c.do("CONFIG", "GET", "maxmemory")
+	if rep.Kind != resp.KindArray || len(rep.Array) != 2 || string(rep.Array[1].Str) != strconv.Itoa(maxBytes) {
+		t.Fatalf("CONFIG GET maxmemory => %+v, want %d", rep, maxBytes)
+	}
+	rep = c.do("CONFIG", "GET", "maxmemory-policy")
+	if rep.Kind != resp.KindArray || len(rep.Array) != 2 || string(rep.Array[1].Str) != "allkeys-lru" {
+		t.Fatalf("CONFIG GET maxmemory-policy => %+v, want allkeys-lru", rep)
+	}
+
+	// DEL is the escape hatch: drain below the low watermark (75% of
+	// 4096 = 3072) and the ladder clears.
+	for i := 0; i < accepted/2; i++ {
+		c.do("DEL", "k"+strconv.Itoa(i))
+	}
+	if got := infoField(t, c, "pressure_state"); got != "ok" {
+		t.Fatalf("pressure_state = %q after draining half the keys, want ok", got)
+	}
+	c.expectSimple("OK", "SET", "recovered", "yes")
+	c.expectBulk("yes", "GET", "recovered")
+}
+
+// TestServerEntryTooLarge covers the other -OOM source: an entry whose
+// cost alone exceeds the cap can never be admitted, at any pressure
+// level, while admissible writes around it keep working.
+func TestServerEntryTooLarge(t *testing.T) {
+	s := startServer(t, Config{
+		Shards: 1, Sets: 16, Ways: 4, Policy: plru.LRU,
+		MaxBytes: 512,
+	})
+	c := dial(t, s)
+
+	c.expectSimple("OK", "SET", "small", "x")
+	c.expectErrPrefix("OOM", "SET", "big", strings.Repeat("x", 600))
+	c.expectNull("GET", "big")
+	// An oversized pair inside MSET is skipped; the rest is applied.
+	c.expectErrPrefix("OOM", "MSET", "a", "1", "big", strings.Repeat("x", 600), "b", "2")
+	c.expectBulk("1", "GET", "a")
+	c.expectBulk("2", "GET", "b")
+	c.expectNull("GET", "big")
+	if n, _ := strconv.Atoi(infoField(t, c, "oom_rejected_ops")); n != 2 {
+		t.Fatalf("oom_rejected_ops = %d, want 2", n)
+	}
+	if got := infoField(t, c, "pressure_state"); got != "ok" {
+		t.Fatalf("pressure_state = %q, want ok (rejections are not pressure)", got)
+	}
+}
+
+// TestServerExpirePersist pins the EXPIRE/PEXPIRE/PERSIST surface to
+// redis's conventions, including the missing-key and non-positive-
+// timeout edges, round-tripped through TTL/PTTL.
+func TestServerExpirePersist(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Sets: 64, Ways: 8, Policy: plru.LRU})
+	c := dial(t, s)
+
+	// Missing keys: 0 across the board.
+	c.expectInt(0, "EXPIRE", "ghost", "10")
+	c.expectInt(0, "PEXPIRE", "ghost", "10000")
+	c.expectInt(0, "PERSIST", "ghost")
+
+	// EXPIRE arms a deadline on a live key; TTL sees it; PERSIST clears
+	// it; a second PERSIST has nothing left to clear.
+	c.expectSimple("OK", "SET", "k", "v")
+	c.expectInt(-1, "TTL", "k")
+	c.expectInt(0, "PERSIST", "k")
+	c.expectInt(1, "EXPIRE", "k", "100")
+	rep := c.do("TTL", "k")
+	if rep.Kind != resp.KindInt || rep.Int < 99 || rep.Int > 100 {
+		t.Fatalf("TTL after EXPIRE 100 => %+v, want ≈100", rep)
+	}
+	rep = c.do("PTTL", "k")
+	if rep.Kind != resp.KindInt || rep.Int < 99_000 || rep.Int > 100_000 {
+		t.Fatalf("PTTL after EXPIRE 100 => %+v, want ≈100000", rep)
+	}
+	c.expectInt(1, "PERSIST", "k")
+	c.expectInt(-1, "TTL", "k")
+	c.expectInt(0, "PERSIST", "k")
+	c.expectBulk("v", "GET", "k")
+
+	// PEXPIRE re-arms in milliseconds and the entry actually dies.
+	c.expectInt(1, "PEXPIRE", "k", "30")
+	time.Sleep(60 * time.Millisecond)
+	c.expectNull("GET", "k")
+	c.expectInt(-2, "TTL", "k")
+
+	// A non-positive timeout deletes the key, as redis does.
+	c.expectSimple("OK", "SET", "doomed", "v")
+	c.expectInt(1, "EXPIRE", "doomed", "0")
+	c.expectInt(0, "EXISTS", "doomed")
+	c.expectNull("GET", "doomed")
+	c.expectSimple("OK", "SET", "doomed2", "v")
+	c.expectInt(1, "PEXPIRE", "doomed2", "-5")
+	c.expectInt(0, "EXISTS", "doomed2")
+
+	// Parse and range edges: garbage is an error, a huge timeout clamps
+	// instead of overflowing into the past.
+	c.expectErrPrefix("ERR value is not an integer", "EXPIRE", "k", "soon")
+	c.expectSimple("OK", "SET", "k", "v")
+	c.expectInt(1, "EXPIRE", "k", "9223372036854775807")
+	rep = c.do("TTL", "k")
+	if rep.Kind != resp.KindInt || rep.Int <= 0 {
+		t.Fatalf("TTL after clamped huge EXPIRE => %+v, want positive", rep)
+	}
+	c.expectErrPrefix("ERR wrong number of arguments", "EXPIRE", "k")
+	c.expectErrPrefix("ERR wrong number of arguments", "PERSIST")
+}

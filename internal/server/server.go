@@ -87,6 +87,26 @@ type Config struct {
 	// DefaultTTL is applied to every SET without an EX/PX option
 	// (0 = entries live until displaced).
 	DefaultTTL time.Duration
+
+	// MaxBytes caps the cache's resident bytes (key length + value
+	// length; 0 = uncapped). Inserts that push past the cap evict other
+	// entries in the same write (cpacache.WithMaxBytes), and the
+	// watermark ladder below gates writes before the cap is ever
+	// reached.
+	MaxBytes uint64
+	// HardBudgets turns per-tenant Budget values into hard limits
+	// enforced evict-on-write (cpacache.WithHardBudgets) instead of
+	// rebalance-time way caps only.
+	HardBudgets bool
+	// HighWatermark and LowWatermark position the memory-pressure
+	// ladder as fractions of MaxBytes (both zero = the cache defaults,
+	// 0.9 and 0.75). At or above high×MaxBytes the server answers
+	// writes with -OOM while reads, deletes and monitoring keep
+	// working; between the watermarks the cache's sweeper and
+	// auto-rebalance ticker run at an aggressive cadence; recovery
+	// below low×MaxBytes clears the state.
+	HighWatermark float64
+	LowWatermark  float64
 	// AutoRebalance enables the cache's background repartitioning
 	// ticker (0 = manual only).
 	AutoRebalance time.Duration
@@ -166,6 +186,7 @@ type Server struct {
 	nSlowEvicted  atomic.Uint64 // connections evicted on a deadline
 	nPanics       atomic.Uint64 // per-connection panics recovered
 	nAcceptErrors atomic.Uint64 // transient accept errors retried
+	nOOMRejected  atomic.Uint64 // writes refused with -OOM under memory pressure
 }
 
 // New builds the cache and the server around it. The cache measures
@@ -195,6 +216,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.AutoRebalance > 0 {
 		opts = append(opts, cpacache.WithAutoRebalance(cfg.AutoRebalance))
+	}
+	if cfg.MaxBytes > 0 {
+		opts = append(opts, cpacache.WithMaxBytes(cfg.MaxBytes))
+	}
+	if cfg.HardBudgets {
+		opts = append(opts, cpacache.WithHardBudgets())
+	}
+	if cfg.HighWatermark > 0 || cfg.LowWatermark > 0 {
+		opts = append(opts, cpacache.WithPressureWatermarks(cfg.HighWatermark, cfg.LowWatermark))
 	}
 	cache, err := cpacache.New[string, []byte](opts...)
 	if err != nil {
@@ -352,6 +382,10 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 const maxClientsMsg = "ERR max number of clients reached"
+
+// oomMsg is redis's refusal for writes over maxmemory, byte-compatible
+// so clients' OOM handling (retry, backoff, shed) works unchanged.
+const oomMsg = "OOM command not allowed when used memory > 'maxmemory'"
 
 // rejectConn answers an over-cap socket without blocking the accept
 // loop: the error line goes out under a short deadline in its own
@@ -593,6 +627,15 @@ func (s *Server) dispatch(st *connState, w *resp.Writer, args [][]byte) {
 			return
 		}
 	}
+	// Memory-pressure gate: at or above the high watermark, writes are
+	// refused the way redis refuses them at maxmemory, while reads,
+	// deletes, TTL management and monitoring keep working — deletes and
+	// expiry are exactly what drains the pressure.
+	if (cmd == "SET" || cmd == "MSET") && s.cache.Pressure() == cpacache.PressureOOM {
+		s.nOOMRejected.Add(1)
+		w.Error(oomMsg)
+		return
+	}
 	switch cmd {
 	case "GET":
 		s.cmdGet(st, w, args)
@@ -610,6 +653,12 @@ func (s *Server) dispatch(st *connState, w *resp.Writer, args [][]byte) {
 		s.cmdTTL(w, args, time.Second)
 	case "PTTL":
 		s.cmdTTL(w, args, time.Millisecond)
+	case "EXPIRE":
+		s.cmdExpire(w, args, time.Second)
+	case "PEXPIRE":
+		s.cmdExpire(w, args, time.Millisecond)
+	case "PERSIST":
+		s.cmdPersist(w, args)
 	case "CONFIG":
 		s.cmdConfig(w, args)
 	case "INFO":
@@ -733,10 +782,18 @@ func (s *Server) cmdSet(st *connState, w *resp.Writer, args [][]byte) {
 			return
 		}
 	}
+	var err error
 	if haveTTL {
-		s.cache.SetTenantTTL(st.tenant, key, val, ttl)
+		err = s.cache.SetTenantTTL(st.tenant, key, val, ttl)
 	} else {
-		s.cache.SetTenant(st.tenant, key, val)
+		err = s.cache.SetTenant(st.tenant, key, val)
+	}
+	if err != nil {
+		// The only insert error is an entry too large for its budget or
+		// the global cap: no amount of eviction can admit it.
+		s.nOOMRejected.Add(1)
+		w.Error(oomMsg)
+		return
 	}
 	w.SimpleString("OK")
 }
@@ -785,10 +842,17 @@ func (s *Server) cmdMSet(st *connState, w *resp.Writer, args [][]byte) {
 		st.keys = append(st.keys, string(args[1+2*i]))
 		vals[i] = args[2+2*i]
 	}
-	s.cache.SetBatch(st.tenant, st.keys, vals)
-	w.SimpleString("OK")
+	err := s.cache.SetBatch(st.tenant, st.keys, vals)
 	clear(vals)
 	clearStrings(st.keys)
+	if err != nil {
+		// Oversized pairs were skipped; the admissible rest of the batch
+		// is applied, matching per-key SET semantics.
+		s.nOOMRejected.Add(1)
+		w.Error(oomMsg)
+		return
+	}
+	w.SimpleString("OK")
 }
 
 // clearStrings drops the string references held by a scratch slice so a
@@ -799,13 +863,17 @@ func clearStrings(ss []string) {
 	}
 }
 
-// cmdConfig is the CONFIG GET stub that redis load generators
-// (memtier_benchmark, redis-benchmark) probe on connect: maxmemory,
-// save and appendonly answer with their "no limit / no persistence"
-// values so the tools proceed. Unmatched parameters get an empty
-// array, as redis replies for unknown names; every other CONFIG
-// subcommand is refused — the server's real configuration surface is
-// its process flags.
+// cmdConfig answers the CONFIG GET parameters that redis load
+// generators (memtier_benchmark, redis-benchmark) and clients probe on
+// connect. maxmemory reports the real -max-bytes cap and
+// maxmemory-policy the real write-pressure behavior — allkeys-lru when
+// the cap evicts on write, noeviction when the server is uncapped —
+// so a tool's capacity planning sees the truth instead of "0" (the old
+// stub's answer, which read as "unlimited" on a capped server). save
+// and appendonly keep their "no persistence" stubs. Unmatched
+// parameters get an empty array, as redis replies for unknown names;
+// every other CONFIG subcommand is refused — the server's real
+// configuration surface is its process flags.
 func (s *Server) cmdConfig(w *resp.Writer, args [][]byte) {
 	if len(args) < 2 {
 		wrongArity(w, "config")
@@ -819,7 +887,16 @@ func (s *Server) cmdConfig(w *resp.Writer, args [][]byte) {
 		wrongArity(w, "config|get")
 		return
 	}
-	stub := [...][2]string{{"maxmemory", "0"}, {"save", ""}, {"appendonly", "no"}}
+	policy := "noeviction"
+	if s.cache.MaxBytes() > 0 {
+		policy = "allkeys-lru"
+	}
+	stub := [...][2]string{
+		{"maxmemory", strconv.FormatUint(s.cache.MaxBytes(), 10)},
+		{"maxmemory-policy", policy},
+		{"save", ""},
+		{"appendonly", "no"},
+	}
 	pattern := strings.ToLower(string(args[2]))
 	matched := make([][2]string, 0, len(stub))
 	for _, kv := range stub {
@@ -882,6 +959,61 @@ func (s *Server) cmdTTL(w *resp.Writer, args [][]byte, unit time.Duration) {
 	}
 }
 
+// maxTTL caps client-supplied expire times: far enough out to mean
+// "never" (≈100 years), small enough that now + ttl cannot overflow the
+// cache clock's int64 nanoseconds.
+const maxTTL = 100 * 365 * 24 * time.Hour
+
+// cmdExpire implements EXPIRE (unit = time.Second) and PEXPIRE
+// (time.Millisecond): 1 when the deadline was set, 0 when the key is
+// absent (or already lapsed). A non-positive timeout deletes the key as
+// redis does — here by arming an already-lapsed deadline, so the line
+// dies through the normal expiry path and is counted as an expiration.
+func (s *Server) cmdExpire(w *resp.Writer, args [][]byte, unit time.Duration) {
+	if len(args) != 3 {
+		wrongArity(w, "expire")
+		return
+	}
+	n, err := strconv.ParseInt(string(args[2]), 10, 64)
+	if err != nil {
+		w.Error("ERR value is not an integer or out of range")
+		return
+	}
+	var ttl time.Duration
+	switch {
+	case n <= 0:
+		ttl = -time.Nanosecond
+	case n > int64(maxTTL/unit):
+		ttl = maxTTL
+	default:
+		ttl = time.Duration(n) * unit
+	}
+	if s.cache.SetTTL(string(args[1]), ttl) {
+		w.Int(1)
+	} else {
+		w.Int(0)
+	}
+}
+
+// cmdPersist implements PERSIST: 1 when a deadline was removed, 0 when
+// the key is absent or carried none.
+func (s *Server) cmdPersist(w *resp.Writer, args [][]byte) {
+	if len(args) != 2 {
+		wrongArity(w, "persist")
+		return
+	}
+	key := string(args[1])
+	if _, hasTTL, present := s.cache.TTL(key); !present || !hasTTL {
+		w.Int(0)
+		return
+	}
+	if s.cache.SetTTL(key, 0) {
+		w.Int(1)
+	} else {
+		w.Int(0) // lapsed between the probe and the pin
+	}
+}
+
 // infoText renders the INFO reply from a cache Snapshot: redis-style
 // "# Section" headers with key:value lines, one frame of coherent
 // counters per call.
@@ -926,15 +1058,22 @@ func (s *Server) infoText() string {
 	line("sweep_expired:%d", snap.SweepExpired)
 	line("sweep_skipped:%d", snap.SweepSkipped)
 	line("")
+	line("# Memory")
+	line("used_memory:%d", snap.UsedBytes)
+	line("maxmemory:%d", snap.MaxBytes)
+	line("evicted_bytes:%d", snap.BudgetEvictedBytes)
+	line("oom_rejected_ops:%d", s.nOOMRejected.Load())
+	line("pressure_state:%s", snap.Pressure)
+	line("")
 	line("# Tenants")
 	for t, ts := range snap.Tenants {
 		budget := uint64(0)
 		if snap.Budgets != nil {
 			budget = snap.Budgets[t]
 		}
-		line("tenant%d:name=%s,policy=%s,ways=%d,budget_bytes=%d,hits=%d,misses=%d,hit_rate=%.4f,evictions=%d,expirations=%d,bytes=%d",
+		line("tenant%d:name=%s,policy=%s,ways=%d,budget_bytes=%d,hits=%d,misses=%d,hit_rate=%.4f,evictions=%d,budget_evictions=%d,expirations=%d,bytes=%d",
 			t, s.names[t], snap.Policies[t], snap.Quotas[t], budget,
-			ts.Hits, ts.Misses, ts.HitRate(), ts.Evictions, ts.Expirations, ts.Bytes)
+			ts.Hits, ts.Misses, ts.HitRate(), ts.Evictions, ts.BudgetEvictions, ts.Expirations, ts.Bytes)
 	}
 	return string(b)
 }

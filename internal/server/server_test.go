@@ -381,7 +381,10 @@ func TestServerConfigGetStub(t *testing.T) {
 		return got
 	}
 	if got := pairs("CONFIG", "GET", "maxmemory"); len(got) != 1 || got["maxmemory"] != "0" {
-		t.Fatalf("CONFIG GET maxmemory = %v, want {maxmemory: 0}", got)
+		t.Fatalf("CONFIG GET maxmemory = %v, want {maxmemory: 0} on an uncapped server", got)
+	}
+	if got := pairs("CONFIG", "GET", "maxmemory-policy"); len(got) != 1 || got["maxmemory-policy"] != "noeviction" {
+		t.Fatalf("CONFIG GET maxmemory-policy = %v, want noeviction on an uncapped server", got)
 	}
 	if got := pairs("config", "get", "SAVE"); len(got) != 1 || got["save"] != "" {
 		t.Fatalf("CONFIG GET save = %v, want {save: \"\"}", got)
@@ -389,8 +392,8 @@ func TestServerConfigGetStub(t *testing.T) {
 	if got := pairs("CONFIG", "GET", "appendonly"); len(got) != 1 || got["appendonly"] != "no" {
 		t.Fatalf("CONFIG GET appendonly = %v, want {appendonly: no}", got)
 	}
-	if got := pairs("CONFIG", "GET", "*"); len(got) != 3 {
-		t.Fatalf("CONFIG GET * = %v, want all three stubbed parameters", got)
+	if got := pairs("CONFIG", "GET", "*"); len(got) != 4 {
+		t.Fatalf("CONFIG GET * = %v, want all four stubbed parameters", got)
 	}
 	if got := pairs("CONFIG", "GET", "maxclients"); len(got) != 0 {
 		t.Fatalf("CONFIG GET maxclients = %v, want empty array for unknown parameter", got)

@@ -333,3 +333,44 @@ func TestRebalanceSteadyStateAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestHardBudgetSetAllocs pins the budget-hit insert path at zero
+// allocations: every Set pushes the tenant over its hard budget, so the
+// whole governor machinery runs each call — gauge checks, the pooled
+// enforcement scratch, the expired→owned reclaim ladder, the buffered
+// OnEvict flush — and none of it may allocate at steady state.
+func TestHardBudgetSetAllocs(t *testing.T) {
+	evictions := 0
+	c, err := New[uint64, uint64](
+		WithShards(2), WithSets(32), WithWays(8),
+		WithPolicy(plru.BT), WithPartitions(2),
+		WithCost(func(k, v uint64) uint64 { return 8 }),
+		WithHardBudgets(), WithMaxBytes(1<<20),
+		WithOnEvict(func(k, v uint64) { evictions++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetBudgets([]uint64{256, 0}); err != nil { // 32 entries of 8
+		t.Fatal(err)
+	}
+	k := uint64(0)
+	// Warm up: fill to the budget and grow the pooled scratch buffers.
+	for ; k < 1024; k++ {
+		if err := c.SetTenant(0, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := c.SetTenant(0, k, k); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	}); n != 0 {
+		t.Fatalf("budget-hit Set allocates %v/op, want 0", n)
+	}
+	if evictions == 0 {
+		t.Fatal("workload never hit the budget; the guard covered nothing")
+	}
+}

@@ -1,6 +1,7 @@
 package cpacache
 
 import (
+	"fmt"
 	"hash/maphash"
 	"math/bits"
 )
@@ -210,21 +211,29 @@ func (c *Cache[K, V]) GetBatch(tenant int, keys []K, vals []V, oks []bool) int {
 
 // SetBatch inserts or updates every keys[i] → vals[i] pair on behalf of
 // tenant (the slices must be the same length). Victim selection, quota
-// enforcement, default TTL and stats are identical to per-key SetTenant
-// calls; each shard's lock is taken once for its whole group of keys, and
-// OnEvict/OnExpire callbacks for the entries a shard displaced run right
-// after that shard's lock is released.
-func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
+// enforcement, default TTL, hard-budget enforcement and stats are
+// identical to per-key SetTenant calls; each shard's lock is taken once
+// for its whole group of keys, and OnEvict/OnExpire callbacks for the
+// entries a shard displaced run right after that shard's lock is
+// released. Under WithHardBudgets/WithMaxBytes, a key whose cost alone
+// exceeds the limit is skipped — the rest of the batch is still applied
+// — and SetBatch returns an error wrapping ErrEntryTooLarge that counts
+// the skips; enforcement for admitted keys runs after each insert, so a
+// batch never overshoots a budget by more than one entry, exactly like a
+// sequence of SetTenant calls.
+func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) error {
 	c.checkTenant(tenant)
 	if len(vals) != len(keys) {
 		panic("cpacache: SetBatch keys and vals lengths differ")
 	}
 	if len(keys) == 0 {
-		return
+		return nil
 	}
+	enforce := c.enforcing()
 	s := c.getScratch(len(keys))
 	c.groupByShard(s, keys)
 	dl := c.defaultDeadline(tenant)
+	oversized := 0
 	for si := range c.shards {
 		lo, hi := s.start[si], s.start[si+1]
 		if lo == hi {
@@ -232,11 +241,19 @@ func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
 		}
 		sh := &c.shards[si]
 		sh.mu.Lock()
-		for _, oi := range s.order[lo:hi] {
-			i := int(oi)
+		for gi := lo; gi < hi; gi++ {
+			i := int(s.order[gi])
 			set := c.setOf(s.hash[i])
 			tag := tagOf(s.hash[i])
-			evKey, evVal, kind := c.setLocked(sh, set, tenant, tag, keys[i], vals[i], dl)
+			var cost uint64
+			if c.costFn != nil {
+				cost = c.costFn(keys[i], vals[i])
+				if enforce && c.admitCost(tenant, cost) != nil {
+					oversized++
+					continue
+				}
+			}
+			evKey, evVal, kind, way := c.setLocked(sh, set, tenant, tag, keys[i], vals[i], dl, cost)
 			switch {
 			case kind == evictLive && c.onEvict != nil:
 				s.evK = append(s.evK, evKey)
@@ -245,9 +262,32 @@ func (c *Cache[K, V]) SetBatch(tenant int, keys []K, vals []V) {
 				s.exK = append(s.exK, evKey)
 				s.exV = append(s.exV, evVal)
 			}
+			if enforce && c.overBudget(tenant) {
+				// Reclaim in this shard first (protecting the line just
+				// written), spilling to the cross-shard walk only if the
+				// tenant is still over — which requires dropping this
+				// shard's lock, flushing its buffered callbacks, and
+				// re-taking the lock to resume the group. The brief gap is
+				// the same interleaving a concurrent writer could impose
+				// between two per-key SetTenant calls.
+				c.enforceShardLocked(sh, tenant, set, way, s)
+				if c.overBudget(tenant) {
+					sh.mu.Unlock()
+					c.flushCallbacks(s)
+					c.enforceAcross(tenant, si, s)
+					sh.mu.Lock()
+				}
+			}
 		}
 		sh.mu.Unlock()
 		c.flushCallbacks(s)
 	}
 	c.putScratch(s)
+	if enforce {
+		c.checkPressure()
+	}
+	if oversized > 0 {
+		return fmt.Errorf("cpacache: SetBatch skipped %d oversized entries: %w", oversized, ErrEntryTooLarge)
+	}
+	return nil
 }

@@ -149,6 +149,27 @@ type Cache[K comparable, V any] struct {
 	ctlShadowHits [][]uint64
 	ctlShadowAcc  []uint64
 	nPolSwitch    atomic.Uint64
+
+	// Memory governor (governor.go). gaugeTenant/gaugeTotal are atomic
+	// mirrors of the per-shard TenantStats.Bytes parts, updated under the
+	// shard locks at the same points, so admission and the watermark
+	// ladder read cross-shard totals without sweeping every shard.
+	// budgetAtomic mirrors the SetBudgets values so the write hot path
+	// never takes quotaMu. maxBytes/hardBudgets are immutable after New;
+	// highBytes/lowBytes are the watermark thresholds in bytes (0 =
+	// ladder off); pressure holds the current PressureState, transitions
+	// serialized by pressureMu.
+	maxBytes          uint64
+	hardBudgets       bool
+	highBytes         uint64
+	lowBytes          uint64
+	gaugeTenant       []atomic.Int64
+	gaugeTotal        atomic.Int64
+	budgetAtomic      []atomic.Uint64
+	pressure          atomic.Int32
+	pressureMu        sync.Mutex
+	nBudgetEvict      atomic.Uint64
+	nBudgetEvictBytes atomic.Uint64
 }
 
 // shard is one independently locked slice of the cache: sets×ways slots
@@ -259,7 +280,12 @@ type TenantStats struct {
 	Misses      uint64
 	Evictions   uint64 // lines this tenant had inserted that were displaced live
 	Expirations uint64 // lines this tenant had inserted that were reclaimed after their TTL
-	Bytes       uint64 // resident WithCost total for lines this tenant inserted
+	// BudgetEvictions counts lines this tenant had inserted that the
+	// memory governor evicted to satisfy a hard byte budget (governor.go)
+	// — displacement the byte envelope forced, distinct from the
+	// capacity Evictions a full set forces.
+	BudgetEvictions uint64
+	Bytes           uint64 // resident WithCost total for lines this tenant inserted
 }
 
 // add accumulates o into s (per-shard Bytes parts sum to the gauge).
@@ -268,6 +294,7 @@ func (s *TenantStats) add(o TenantStats) {
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.Expirations += o.Expirations
+	s.BudgetEvictions += o.BudgetEvictions
 	s.Bytes += o.Bytes
 }
 
@@ -336,6 +363,28 @@ func New[K comparable, V any](opts ...Option) (*Cache[K, V], error) {
 		hysteresis:    s.hysteresis,
 		minSamples:    s.minSamples,
 		sink:          s.sink,
+		maxBytes:      s.maxBytes,
+		hardBudgets:   s.hardBudgets,
+	}
+	if costFn != nil {
+		c.gaugeTenant = make([]atomic.Int64, s.tenants)
+		c.budgetAtomic = make([]atomic.Uint64, s.tenants)
+	}
+	if s.maxBytes > 0 {
+		hi, lo := s.highMark, s.lowMark
+		if hi == 0 && lo == 0 {
+			hi, lo = defaultHighWatermark, defaultLowWatermark
+		}
+		c.highBytes = uint64(float64(s.maxBytes) * hi)
+		c.lowBytes = uint64(float64(s.maxBytes) * lo)
+		// Degenerate tiny caps still get a working ladder: high >= 1 so
+		// OOM is reachable, low < high so OOM is escapable.
+		if c.highBytes == 0 {
+			c.highBytes = 1
+		}
+		if c.lowBytes >= c.highBytes {
+			c.lowBytes = c.highBytes - 1
+		}
 	}
 	// The optimistic read path hands plain loads of keys and values to
 	// the sequence check for validation; that is only crash- and GC-safe
@@ -484,8 +533,9 @@ func (c *Cache[K, V]) emptyWaysLocked(sh *shard[K, V], tbase int) uint64 {
 // Get looks up key on behalf of tenant 0.
 func (c *Cache[K, V]) Get(key K) (V, bool) { return c.GetTenant(0, key) }
 
-// Set inserts or updates key on behalf of tenant 0.
-func (c *Cache[K, V]) Set(key K, value V) { c.SetTenant(0, key, value) }
+// Set inserts or updates key on behalf of tenant 0. The error is always
+// nil unless a hard byte limit is configured — see SetTenant.
+func (c *Cache[K, V]) Set(key K, value V) error { return c.SetTenant(0, key, value) }
 
 // GetTenant looks up key on behalf of the given tenant. A hit refreshes
 // the line's recency regardless of which tenant inserted it (hits are
@@ -546,6 +596,7 @@ func (c *Cache[K, V]) getLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 					if c.onExpire != nil {
 						c.onExpire(exK, exV)
 					}
+					c.checkPressure()
 					var zero V
 					return zero, false
 				}
@@ -571,16 +622,18 @@ const (
 )
 
 // setLocked inserts or updates key in its set with the given expiry
-// deadline (0 = none), returning the displaced entry and its kind if the
-// fill displaced one. Caller holds sh.mu and must run the matching
-// callback (OnEvict for evictLive, OnExpire for evictTTL) after releasing
-// it. An update whose old line already expired surfaces the old value as
-// an expiration rather than silently overwriting it, so expired values
-// never vanish uncounted.
-func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key K, value V, deadline int64) (evKey K, evVal V, kind int) {
+// deadline (0 = none) and precomputed WithCost measurement (ignored
+// unless cost accounting is on), returning the displaced entry and its
+// kind if the fill displaced one, plus the way the line landed in (so
+// budget enforcement can protect it from its own write). Caller holds
+// sh.mu and must run the matching callback (OnEvict for evictLive,
+// OnExpire for evictTTL) after releasing it. An update whose old line
+// already expired surfaces the old value as an expiration rather than
+// silently overwriting it, so expired values never vanish uncounted.
+func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key K, value V, deadline int64, cost uint64) (evKey K, evVal V, kind int, way int) {
 	base := set * c.ways
 	tbase := c.tagBase(set)
-	way := c.findLocked(sh, base, tbase, tag, key)
+	way = c.findLocked(sh, base, tbase, tag, key)
 	update := way >= 0
 	if update {
 		// In-place update of the resident line.
@@ -590,6 +643,7 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 		}
 		if sh.cost != nil {
 			sh.stats[sh.owner[base+way]].Bytes -= sh.cost[base+way]
+			c.gaugeSub(sh.owner[base+way], sh.cost[base+way])
 		}
 	} else {
 		// One zero-byte pass over the tag words finds every empty way:
@@ -643,6 +697,7 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 			}
 			if sh.cost != nil {
 				sh.stats[sh.owner[base+way]].Bytes -= sh.cost[base+way]
+				c.gaugeSub(sh.owner[base+way], sh.cost[base+way])
 			}
 		}
 	}
@@ -676,11 +731,11 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 		c.fillOrPush(sh, set, way, tenant, tag)
 	}
 	if sh.cost != nil {
-		cost := c.costFn(key, value)
 		sh.cost[base+way] = cost
 		sh.stats[tenant].Bytes += cost
+		c.gaugeAdd(int16(tenant), cost)
 	}
-	return evKey, evVal, kind
+	return evKey, evVal, kind, way
 }
 
 // SetTenant inserts or updates key on behalf of the given tenant. On
@@ -690,16 +745,14 @@ func (c *Cache[K, V]) setLocked(sh *shard[K, V], set, tenant int, tag uint8, key
 // cache's default TTL, if one is configured (override per entry with
 // SetTenantTTL or SetTTL). The OnEvict/OnExpire callbacks, if configured,
 // run after the shard lock is released.
-func (c *Cache[K, V]) SetTenant(tenant int, key K, value V) {
+//
+// Under a hard byte limit (WithMaxBytes, or WithHardBudgets + SetBudgets)
+// the write additionally evicts until the budgets fit — see governor.go —
+// and an entry whose cost alone exceeds its budget is rejected with
+// ErrEntryTooLarge. Without hard limits the error is always nil.
+func (c *Cache[K, V]) SetTenant(tenant int, key K, value V) error {
 	c.checkTenant(tenant)
-	sh, set, tag := c.locate(key)
-	dl := c.defaultDeadline(tenant)
-
-	sh.mu.Lock()
-	evKey, evVal, kind := c.setLocked(sh, set, tenant, tag, key, value, dl)
-	sh.mu.Unlock()
-
-	c.displaced(evKey, evVal, kind)
+	return c.setWithDeadline(tenant, key, value, c.defaultDeadline(tenant))
 }
 
 // displaced routes one setLocked result to the matching callback. Called
@@ -742,10 +795,12 @@ func (c *Cache[K, V]) Delete(key K) bool {
 		if c.onExpire != nil {
 			c.onExpire(exK, exV)
 		}
+		c.checkPressure()
 		return false
 	}
 	c.clearSlotLocked(sh, set, w)
 	sh.mu.Unlock()
+	c.checkPressure()
 	return true
 }
 
@@ -757,7 +812,12 @@ func (c *Cache[K, V]) clearSlotLocked(sh *shard[K, V], set, way int) {
 	var zeroK K
 	var zeroV V
 	if sh.cost != nil {
+		// The gauge decrement happens here, under the shard lock and
+		// before any OnEvict/OnExpire callback for this line can run, so
+		// a Snapshot racing the reclaim counts the departing bytes
+		// exactly once (in the gauge until this instant, never after).
 		sh.stats[sh.owner[base+way]].Bytes -= sh.cost[base+way]
+		c.gaugeSub(sh.owner[base+way], sh.cost[base+way])
 		sh.cost[base+way] = 0
 	}
 	sbase := c.seqBase(set)
@@ -1039,14 +1099,17 @@ func (c *Cache[K, V]) rebalance(auto bool) ([]int, bool, error) {
 	predNew := cpapart.TotalMisses(c.ctlCurves, c.ctlAlloc)
 	apply, evaluated := true, true
 	if auto {
-		overBudget := capsViolated(c.quotas, caps)
+		overBudget := cpapart.Allocation(c.quotas).Exceeds(caps)
 		evaluated = samples >= c.minSamples
 		// Strict improvement required: a zero-gain proposal (including
 		// the predOld == 0 all-hits window) must not churn the masks no
 		// matter the hysteresis fraction.
 		gainOK := evaluated && predNew < predOld &&
 			float64(predOld-predNew) >= c.hysteresis*float64(predOld)
-		apply = gainOK || overBudget
+		// Under memory pressure the ladder overrides hysteresis: any
+		// strictly better proposal (or a budget violation) installs now
+		// rather than waiting out the confidence thresholds.
+		apply = gainOK || overBudget || (c.underPressure() && predNew < predOld)
 	}
 
 	emit := c.sink.Rebalance != nil
@@ -1111,19 +1174,6 @@ func (c *Cache[K, V]) rebalance(auto bool) ([]int, bool, error) {
 		}
 	}
 	return quotas, apply, nil
-}
-
-// capsViolated reports whether any installed quota exceeds its way cap.
-func capsViolated(quotas, caps []int) bool {
-	if caps == nil {
-		return false
-	}
-	for t, q := range quotas {
-		if q > caps[t] {
-			return true
-		}
-	}
-	return false
 }
 
 // wayCapsLocked translates the installed byte budgets into per-tenant way

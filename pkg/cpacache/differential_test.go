@@ -31,6 +31,13 @@ type refModel[K comparable, V any] struct {
 
 	now    func() int64      // nil = TTL semantics never triggered
 	costFn func(K, V) uint64 // nil = cost accounting off
+
+	// Memory-governor mirror (governor_diff_test.go): the hard limits the
+	// model enforces and its copy of the cache's global byte gauge.
+	budgets     []uint64
+	maxBytes    uint64
+	hardBudgets bool
+	totalBytes  uint64
 }
 
 func newRefModel[K comparable, V any](c *Cache[K, V], kind plru.Kind, polSeed uint64) *refModel[K, V] {
@@ -85,6 +92,7 @@ func (m *refModel[K, V]) clearSlot(si, set, w int) {
 	var zeroV V
 	if m.costFn != nil {
 		m.stats[m.owner[si][base+w]].Bytes -= m.cost[si][base+w]
+		m.totalBytes -= m.cost[si][base+w]
 		m.cost[si][base+w] = 0
 	}
 	m.keys[si][base+w] = zeroK
@@ -129,8 +137,9 @@ func (m *refModel[K, V]) set(tenant int, key K, value V) {
 	m.setDL(tenant, key, value, 0)
 }
 
-// setDL mirrors setLocked with an explicit deadline (0 = none).
-func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) {
+// setDL mirrors setLocked with an explicit deadline (0 = none), returning
+// the shard, set and way the line landed in (for budget enforcement).
+func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) (int, int, int) {
 	si, set := m.locate(key)
 	tag := tagOf(maphash.Comparable(m.c.seed, key))
 	base := set * m.c.ways
@@ -150,6 +159,7 @@ func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) {
 		}
 		if m.costFn != nil {
 			m.stats[m.owner[si][base+way]].Bytes -= m.cost[si][base+way]
+			m.totalBytes -= m.cost[si][base+way]
 		}
 	} else {
 		mask := m.masks[tenant]
@@ -199,6 +209,7 @@ func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) {
 			}
 			if m.costFn != nil {
 				m.stats[m.owner[si][base+way]].Bytes -= m.cost[si][base+way]
+				m.totalBytes -= m.cost[si][base+way]
 			}
 			m.live--
 		}
@@ -219,7 +230,9 @@ func (m *refModel[K, V]) setDL(tenant int, key K, value V, dl int64) {
 		cost := m.costFn(key, value)
 		m.cost[si][base+way] = cost
 		m.stats[tenant].Bytes += cost
+		m.totalBytes += cost
 	}
+	return si, set, way
 }
 
 // setTTL mirrors SetTTL with an explicit new deadline (0 = remove).

@@ -1,0 +1,451 @@
+package cpacache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/plru"
+)
+
+// Unit and stress coverage for the memory governor: the pressure ladder's
+// transitions and hysteresis, oversized-entry rejection, byte-gauge
+// conservation under concurrent churn across every policy kind, and the
+// Snapshot-vs-reclaim accounting race.
+
+// residentBytes walks every shard under its lock and sums the live
+// slots' recorded costs per tenant — ground truth for the gauges.
+func residentBytes[K comparable, V any](c *Cache[K, V]) (perTenant []uint64, total uint64) {
+	perTenant = make([]uint64, c.tenants)
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for slot, owner := range sh.owner {
+			if owner >= 0 {
+				perTenant[owner] += sh.cost[slot]
+				total += sh.cost[slot]
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return perTenant, total
+}
+
+// TestPressureLadder walks the cache up and down the watermark ladder —
+// ok → aggressive → oom — and back, checking Pressure(), the emitted
+// PressureEvent chain, and the hysteresis hold: once in oom, dropping
+// between the watermarks must NOT clear the state; only falling below
+// the low watermark does.
+func TestPressureLadder(t *testing.T) {
+	var mu sync.Mutex
+	var events []PressureEvent
+	c, err := New[uint64, uint64](
+		WithShards(1), WithSets(16), WithWays(8), WithSeed(7),
+		WithCost(func(k, v uint64) uint64 { return v }),
+		WithMaxBytes(1000),
+		WithPressureWatermarks(0.9, 0.75), // oom ≥ 900, aggressive ≥ 750
+		WithMetricsSink(MetricsSink{Pressure: func(ev PressureEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 14 × 50 = 700 < 750: still ok.
+	for k := uint64(0); k < 14; k++ {
+		if err := c.Set(k, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Pressure(); got != PressureOK {
+		t.Fatalf("at 700/1000: pressure %v, want ok", got)
+	}
+	// 800 ≥ 750: aggressive.
+	if err := c.Set(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Pressure(); got != PressureAggressive {
+		t.Fatalf("at 800/1000: pressure %v, want aggressive", got)
+	}
+	// 950 ≥ 900: oom.
+	if err := c.Set(101, 150); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Pressure(); got != PressureOOM {
+		t.Fatalf("at 950/1000: pressure %v, want oom", got)
+	}
+	// Down to 800 — between the watermarks. Hysteresis holds oom.
+	if !c.Delete(101) {
+		t.Fatal("Delete(101) missed")
+	}
+	if got := c.Pressure(); got != PressureOOM {
+		t.Fatalf("at 800/1000 after oom: pressure %v, want oom held by hysteresis", got)
+	}
+	// Down to 700 < 750: recovery.
+	if !c.Delete(100) {
+		t.Fatal("Delete(100) missed")
+	}
+	if got := c.Pressure(); got != PressureOK {
+		t.Fatalf("at 700/1000: pressure %v, want ok after recovery", got)
+	}
+	if got, want := c.UsedBytes(), uint64(700); got != want {
+		t.Fatalf("UsedBytes = %d, want %d", got, want)
+	}
+	if got, want := c.MaxBytes(), uint64(1000); got != want {
+		t.Fatalf("MaxBytes = %d, want %d", got, want)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantChain := []struct{ from, to PressureState }{
+		{PressureOK, PressureAggressive},
+		{PressureAggressive, PressureOOM},
+		{PressureOOM, PressureOK},
+	}
+	if len(events) != len(wantChain) {
+		t.Fatalf("got %d pressure events %+v, want %d", len(events), events, len(wantChain))
+	}
+	for i, ev := range events {
+		if ev.From != wantChain[i].from || ev.To != wantChain[i].to {
+			t.Fatalf("event %d: %v→%v, want %v→%v", i, ev.From, ev.To, wantChain[i].from, wantChain[i].to)
+		}
+		if ev.MaxBytes != 1000 || ev.UsedBytes == 0 {
+			t.Fatalf("event %d: UsedBytes=%d MaxBytes=%d", i, ev.UsedBytes, ev.MaxBytes)
+		}
+	}
+	for _, s := range []PressureState{PressureOK, PressureAggressive, PressureOOM} {
+		if s.String() == "" || s.String() == "PressureState(?)" {
+			t.Fatalf("PressureState(%d).String() = %q", s, s.String())
+		}
+	}
+}
+
+// TestEntryTooLarge checks oversized-entry rejection on both limits: a
+// cost above the writing tenant's hard budget and a cost above the
+// global cap are refused with ErrEntryTooLarge, leave no trace in the
+// cache, and — in a batch — do not poison the admissible entries around
+// them.
+func TestEntryTooLarge(t *testing.T) {
+	c, err := New[uint64, uint64](
+		WithShards(1), WithSets(8), WithWays(4), WithPartitions(2),
+		WithCost(func(k, v uint64) uint64 { return v }),
+		WithHardBudgets(),
+		WithMaxBytes(500),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetBudgets([]uint64{100, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.SetTenant(0, 1, 101); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("cost 101 > budget 100: err %v, want ErrEntryTooLarge", err)
+	}
+	if _, ok := c.GetTenant(0, 1); ok {
+		t.Fatal("rejected entry is resident")
+	}
+	// Tenant 1 has no budget: only the global cap limits it.
+	if err := c.SetTenant(1, 2, 400); err != nil {
+		t.Fatalf("cost 400 ≤ maxBytes for unbudgeted tenant: %v", err)
+	}
+	if err := c.SetTenant(1, 3, 501); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("cost 501 > maxBytes 500: err %v, want ErrEntryTooLarge", err)
+	}
+	if got := c.UsedBytes(); got != 400 {
+		t.Fatalf("UsedBytes = %d, want 400", got)
+	}
+
+	err = c.SetBatch(0, []uint64{10, 11, 12}, []uint64{5, 200, 7})
+	if !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("batch with one oversized entry: err %v, want ErrEntryTooLarge", err)
+	}
+	for _, k := range []uint64{10, 12} {
+		if v, ok := c.GetTenant(0, k); !ok || v != k-5 {
+			t.Fatalf("admissible batch key %d lost around the oversized one: (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := c.GetTenant(0, 11); ok {
+		t.Fatal("oversized batch entry is resident")
+	}
+}
+
+// TestBytesConservationChurn hammers a hard-budget cache with concurrent
+// inserts, updates and deletes under every policy kind, then checks the
+// gauges against ground truth: after quiesce, each tenant's atomic gauge,
+// its Stats().Bytes, and a locked walk of the slot arrays must all agree,
+// every budgeted tenant must sit at or under its budget, and the global
+// gauge must equal the per-tenant sum. A sampler goroutine also checks,
+// mid-churn, that no gauge ever goes negative or exceeds the budget by
+// more than the writers' in-flight entries.
+func TestBytesConservationChurn(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 3000
+		maxCost = 8
+	)
+	budgets := []uint64{1 << 10, 1 << 9, 0}
+	for _, kind := range plru.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			c, err := New[uint64, uint64](
+				WithShards(2), WithSets(32), WithWays(8), WithPartitions(3),
+				WithPolicy(kind), WithSeed(11),
+				WithCost(func(k, v uint64) uint64 { return k%maxCost + 1 }),
+				WithHardBudgets(),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.SetBudgets(budgets); err != nil {
+				t.Fatal(err)
+			}
+
+			var stop atomic.Bool
+			var sampleErr atomic.Value
+			var sampler sync.WaitGroup
+			sampler.Add(1)
+			go func() {
+				defer sampler.Done()
+				for !stop.Load() {
+					for tn, b := range budgets {
+						g := c.gaugeTenant[tn].Load()
+						if g < 0 {
+							sampleErr.Store(fmt.Sprintf("tenant %d gauge went negative: %d", tn, g))
+							return
+						}
+						if b > 0 && uint64(g) > b+workers*maxCost {
+							sampleErr.Store(fmt.Sprintf("tenant %d gauge %d exceeds budget %d by more than %d in-flight entries", tn, g, b, workers))
+							return
+						}
+					}
+					if c.gaugeTotal.Load() < 0 {
+						sampleErr.Store("global gauge went negative")
+						return
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rng := seed*2654435761 + 1
+					next := func() uint64 {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						return rng
+					}
+					for i := 0; i < rounds; i++ {
+						key := next() % 2048
+						tenant := int(next() % 3)
+						switch next() % 10 {
+						case 0, 1:
+							c.Delete(key)
+						default:
+							if err := c.SetTenant(tenant, key, key); err != nil {
+								panic(err)
+							}
+						}
+					}
+				}(uint64(w + 1))
+			}
+			wg.Wait()
+			stop.Store(true)
+			sampler.Wait()
+			if msg := sampleErr.Load(); msg != nil {
+				t.Fatal(msg)
+			}
+
+			perTenant, total := residentBytes(c)
+			var statSum uint64
+			for tn, ts := range c.Stats() {
+				if ts.Bytes != perTenant[tn] {
+					t.Fatalf("tenant %d: Stats().Bytes %d, slot walk %d", tn, ts.Bytes, perTenant[tn])
+				}
+				if g := uint64(c.gaugeTenant[tn].Load()); g != perTenant[tn] {
+					t.Fatalf("tenant %d: gauge %d, slot walk %d", tn, g, perTenant[tn])
+				}
+				if b := budgets[tn]; b > 0 && ts.Bytes > b {
+					t.Fatalf("tenant %d: resident %d exceeds budget %d after quiesce", tn, ts.Bytes, b)
+				}
+				statSum += ts.Bytes
+			}
+			if total != statSum {
+				t.Fatalf("global slot walk %d != tenant sum %d", total, statSum)
+			}
+			if g := uint64(c.gaugeTotal.Load()); g != total {
+				t.Fatalf("global gauge %d, slot walk %d", g, total)
+			}
+			if u := c.UsedBytes(); u != total {
+				t.Fatalf("UsedBytes %d, slot walk %d", u, total)
+			}
+		})
+	}
+}
+
+// TestSnapshotDuringBudgetEviction pins the ordering fixed in
+// clearSlotLocked: the gauge decrement happens under the shard lock,
+// before the evicted entry's OnEvict callback runs, so an observer
+// inside the callback — the worst-case racing Snapshot — sees the
+// departing bytes counted exactly once, never both in the gauge and in
+// flight. If the decrement moved after the callback, UsedBytes inside
+// OnEvict would exceed the cap every time enforcement fires.
+func TestSnapshotDuringBudgetEviction(t *testing.T) {
+	var c *Cache[uint64, uint64]
+	var inEvict, violations atomic.Uint64
+	c, err := New[uint64, uint64](
+		WithShards(1), WithSets(4), WithWays(4), WithSeed(3),
+		WithCost(func(k, v uint64) uint64 { return 64 }),
+		WithMaxBytes(256), // 4 entries of 64: the 5th always reclaims
+		WithOnEvict(func(k, v uint64) {
+			inEvict.Add(1)
+			if snap := c.Snapshot(); snap.UsedBytes > snap.MaxBytes {
+				violations.Add(1)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for k := uint64(0); k < 64; k++ {
+		if err := c.Set(k, k); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.UsedBytes(); got > 256 {
+			t.Fatalf("after Set(%d): UsedBytes %d exceeds cap 256", k, got)
+		}
+	}
+	if inEvict.Load() == 0 {
+		t.Fatal("workload never triggered an eviction; the race window was never exercised")
+	}
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d Snapshot frames inside OnEvict double-counted departing bytes", n)
+	}
+	if snap := c.Snapshot(); snap.BudgetEvictedBytes == 0 {
+		t.Fatal("BudgetEvictedBytes stayed 0 despite cap-driven reclaim")
+	}
+}
+
+// TestHardBudgetStressBound is the acceptance-bar stress: concurrent
+// writers against tight per-tenant budgets and a global cap; sampled
+// mid-churn, no tenant's gauge may exceed its budget by more than the
+// writers' in-flight entries, and after quiesce every gauge must be at
+// or under its limit. Run with -race in CI.
+func TestHardBudgetStressBound(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 4000
+		maxCost = 16
+	)
+	budgets := []uint64{512, 256}
+	const maxBytes = 1024
+	c, err := New[uint64, uint64](
+		WithShards(4), WithSets(16), WithWays(8), WithPartitions(2),
+		WithSeed(13),
+		WithCost(func(k, v uint64) uint64 { return k%maxCost + 1 }),
+		WithHardBudgets(),
+		WithMaxBytes(maxBytes),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetBudgets(budgets); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var sampleErr atomic.Value
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for !stop.Load() {
+			for tn, b := range budgets {
+				if g := uint64(c.gaugeTenant[tn].Load()); g > b+workers*maxCost {
+					sampleErr.Store(fmt.Sprintf("tenant %d gauge %d > budget %d + %d in-flight", tn, g, b, workers*maxCost))
+					return
+				}
+			}
+			if g := uint64(c.gaugeTotal.Load()); g > maxBytes+workers*maxCost {
+				sampleErr.Store(fmt.Sprintf("global gauge %d > cap %d + %d in-flight", g, maxBytes, workers*maxCost))
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9e3779b97f4a7c15 | 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			batchK := make([]uint64, 8)
+			batchV := make([]uint64, 8)
+			for i := 0; i < rounds; i++ {
+				tenant := int(next() % 2)
+				if next()%16 == 0 {
+					for j := range batchK {
+						batchK[j] = next() % 4096
+						batchV[j] = batchK[j]
+					}
+					if err := c.SetBatch(tenant, batchK, batchV); err != nil {
+						panic(err)
+					}
+				} else {
+					key := next() % 4096
+					if err := c.SetTenant(tenant, key, key); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	stop.Store(true)
+	sampler.Wait()
+	if msg := sampleErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	for tn, b := range budgets {
+		if g := uint64(c.gaugeTenant[tn].Load()); g > b {
+			t.Fatalf("tenant %d settles at %d, over budget %d", tn, g, b)
+		}
+	}
+	if g := uint64(c.gaugeTotal.Load()); g > maxBytes {
+		t.Fatalf("global gauge settles at %d, over cap %d", g, maxBytes)
+	}
+	perTenant, total := residentBytes(c)
+	for tn := range budgets {
+		if g := uint64(c.gaugeTenant[tn].Load()); g != perTenant[tn] {
+			t.Fatalf("tenant %d: gauge %d, slot walk %d", tn, g, perTenant[tn])
+		}
+	}
+	if g := uint64(c.gaugeTotal.Load()); g != total {
+		t.Fatalf("global gauge %d, slot walk %d", g, total)
+	}
+	var budgetEv uint64
+	for _, ts := range c.Stats() {
+		budgetEv += ts.BudgetEvictions
+	}
+	if budgetEv == 0 {
+		t.Fatal("stress never forced a budget eviction; the bound was never tested")
+	}
+}

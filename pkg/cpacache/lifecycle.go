@@ -298,10 +298,17 @@ func (c *Cache[K, V]) clockLoop() {
 	}
 }
 
-// sweepLoop runs the timing-wheel sweeper until Close.
+// sweepLoop runs the timing-wheel sweeper until Close. Under memory
+// pressure (WithMaxBytes ladder ≥ aggressive) the tick shortens to
+// pressureInterval so expired bytes come back faster; the ticker is
+// re-armed only when the desired cadence actually changes, so without a
+// pressure ladder the loop keeps the plain fixed-period ticker (missed
+// ticks stay pending rather than sliding later, which matters on
+// starved single-core hosts).
 func (c *Cache[K, V]) sweepLoop() {
 	defer c.bg.Done()
-	t := time.NewTicker(c.sweepInterval)
+	cur := c.pressureInterval(c.sweepInterval)
+	t := time.NewTicker(cur)
 	defer t.Stop()
 	var exK []K
 	var exV []V
@@ -311,6 +318,10 @@ func (c *Cache[K, V]) sweepLoop() {
 			return
 		case <-t.C:
 			exK, exV = c.sweepOnce(exK, exV)
+			if want := c.pressureInterval(c.sweepInterval); want != cur {
+				cur = want
+				t.Reset(cur)
+			}
 		}
 	}
 }
@@ -354,14 +365,21 @@ func (c *Cache[K, V]) sweepOnce(exK []K, exV []V) ([]K, []V) {
 	if (expired > 0 || skipped > 0) && c.sink.Sweep != nil {
 		c.sink.Sweep(SweepEvent{Visited: visited, Expired: expired, Skipped: skipped})
 	}
+	// Sweeping is what drains the gauge while writes are being shed (an
+	// OOM-gated caller never reaches the set path that would notice the
+	// recovery), so the ladder must be re-examined here.
+	c.checkPressure()
 	return exK[:0], exV[:0]
 }
 
 // autoRebalanceLoop drives rebalance(auto) every WithAutoRebalance
-// interval until Close.
+// interval until Close. Like the sweeper, the tick shortens under
+// memory pressure so budget-violating quotas are corrected promptly,
+// re-arming the ticker only on a cadence change.
 func (c *Cache[K, V]) autoRebalanceLoop() {
 	defer c.bg.Done()
-	t := time.NewTicker(c.autoInterval)
+	cur := c.pressureInterval(c.autoInterval)
+	t := time.NewTicker(cur)
 	defer t.Stop()
 	for {
 		select {
@@ -372,6 +390,10 @@ func (c *Cache[K, V]) autoRebalanceLoop() {
 			// which would be a bug surfaced by tests, not a runtime
 			// condition a background loop can act on.
 			_, _, _ = c.rebalance(true)
+			if want := c.pressureInterval(c.autoInterval); want != cur {
+				cur = want
+				t.Reset(cur)
+			}
 		}
 	}
 }
@@ -446,9 +468,10 @@ func (c *Cache[K, V]) TenantDefaultTTL(tenant int) time.Duration {
 // SetTenantTTL inserts or updates key → value on behalf of tenant with an
 // explicit TTL, overriding any default for this entry: ttl > 0 expires
 // the entry after ttl, ttl == 0 pins it (no expiry), ttl < 0 inserts it
-// already expired. Quota enforcement, eviction and callbacks behave
-// exactly as SetTenant.
-func (c *Cache[K, V]) SetTenantTTL(tenant int, key K, value V, ttl time.Duration) {
+// already expired. Quota enforcement, eviction, hard-budget enforcement
+// and callbacks behave exactly as SetTenant, including the
+// ErrEntryTooLarge rejection under WithHardBudgets/WithMaxBytes.
+func (c *Cache[K, V]) SetTenantTTL(tenant int, key K, value V, ttl time.Duration) error {
 	c.checkTenant(tenant)
 	// A ttl of 0 pins the entry — no deadline will ever be stored, so a
 	// TTL-free cache doesn't pay for the clock, sweeper and deadline
@@ -456,14 +479,7 @@ func (c *Cache[K, V]) SetTenantTTL(tenant int, key K, value V, ttl time.Duration
 	if ttl != 0 {
 		c.armTTL()
 	}
-	sh, set, tag := c.locate(key)
-	dl := c.deadlineFor(ttl)
-
-	sh.mu.Lock()
-	evKey, evVal, kind := c.setLocked(sh, set, tenant, tag, key, value, dl)
-	sh.mu.Unlock()
-
-	c.displaced(evKey, evVal, kind)
+	return c.setWithDeadline(tenant, key, value, c.deadlineFor(ttl))
 }
 
 // SetTTL re-arms the TTL of an already-resident entry: ttl > 0 expires it
@@ -552,17 +568,24 @@ func (c *Cache[K, V]) TTL(key K) (remaining time.Duration, hasTTL, present bool)
 // SetBudgets installs per-tenant byte budgets (len must equal Tenants();
 // 0 = unlimited; nil clears all budgets). Budgets require a WithCost
 // function — without one the cache has no byte measurements to enforce.
-// Budgets steer the partitioning, they are not a hard byte limiter: at
-// each Rebalance (manual or auto) the budgets are translated into
-// per-tenant way caps from the tenant's observed bytes-per-way, and the
-// allocation never hands a tenant more ways than its budget supports. A
-// tenant over budget because its entries grew is pulled back at the next
-// rebalance rather than evicted mid-interval.
+// By default budgets steer the partitioning rather than hard-limiting
+// bytes: at each Rebalance (manual or auto) the budgets are translated
+// into per-tenant way caps from the tenant's observed bytes-per-way, and
+// the allocation never hands a tenant more ways than its budget
+// supports; a tenant over budget because its entries grew is pulled back
+// at the next rebalance. Under WithHardBudgets the budgets are
+// additionally enforced on the write path itself — see that option for
+// the evict-on-write semantics.
 func (c *Cache[K, V]) SetBudgets(budgets []uint64) error {
 	if budgets == nil {
 		c.quotaMu.Lock()
 		c.budgets = nil
 		c.quotaMu.Unlock()
+		if c.budgetAtomic != nil {
+			for t := range c.budgetAtomic {
+				c.budgetAtomic[t].Store(0)
+			}
+		}
 		return nil
 	}
 	if c.costFn == nil {
@@ -574,6 +597,11 @@ func (c *Cache[K, V]) SetBudgets(budgets []uint64) error {
 	c.quotaMu.Lock()
 	c.budgets = append(c.budgets[:0], budgets...)
 	c.quotaMu.Unlock()
+	// Mirror into the lock-free copy the write path's enforcement checks
+	// read (costFn != nil guarantees the mirror was allocated at New).
+	for t, b := range budgets {
+		c.budgetAtomic[t].Store(b)
+	}
 	return nil
 }
 

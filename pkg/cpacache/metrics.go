@@ -27,6 +27,21 @@ type MetricsSink struct {
 	// the auto-selector (WithPolicyAutoSelect) switched at a rebalance
 	// boundary. Never called without auto-selection.
 	PolicySwitch func(PolicySwitchEvent)
+	// Pressure is called on every memory-pressure transition of the
+	// WithMaxBytes ladder (ok ⇄ aggressive ⇄ oom). Never called without
+	// WithMaxBytes. Transitions are serialized: callbacks observe a
+	// consistent From → To chain, from whichever goroutine's operation
+	// crossed the watermark.
+	Pressure func(PressureEvent)
+}
+
+// PressureEvent describes one memory-pressure transition.
+type PressureEvent struct {
+	// From and To are the outgoing and incoming ladder states.
+	From, To PressureState
+	// UsedBytes is the global resident-cost gauge at the transition;
+	// MaxBytes is the WithMaxBytes cap.
+	UsedBytes, MaxBytes uint64
 }
 
 // RebalanceEvent describes one rebalance decision.
@@ -118,17 +133,32 @@ type Snapshot struct {
 	// PolicySwitches counts tenant policy switches the auto-selector
 	// has applied over the cache's lifetime (0 without auto-selection).
 	PolicySwitches uint64
+	// UsedBytes is the global resident-cost gauge (0 without WithCost)
+	// and MaxBytes the WithMaxBytes cap (0 when uncapped).
+	UsedBytes, MaxBytes uint64
+	// Pressure is the ladder state at the frame (always PressureOK
+	// without WithMaxBytes).
+	Pressure PressureState
+	// BudgetEvictedBytes totals the cost of lines displaced by the
+	// governor (WithHardBudgets / WithMaxBytes enforcement) over the
+	// cache's lifetime; the per-tenant line counts are in
+	// Tenants[t].BudgetEvictions.
+	BudgetEvictedBytes uint64
 }
 
 // Snapshot returns a point-in-time metrics frame: per-tenant counters,
 // quotas, budgets and lifecycle totals in one call.
 func (c *Cache[K, V]) Snapshot() Snapshot {
 	s := Snapshot{
-		Tenants:      c.Stats(),
-		Len:          c.Len(),
-		Capacity:     c.Capacity(),
-		SweepExpired: c.nSweepExpired.Load(),
-		SweepSkipped: c.nSweepSkipped.Load(),
+		Tenants:            c.Stats(),
+		Len:                c.Len(),
+		Capacity:           c.Capacity(),
+		SweepExpired:       c.nSweepExpired.Load(),
+		SweepSkipped:       c.nSweepSkipped.Load(),
+		UsedBytes:          c.UsedBytes(),
+		MaxBytes:           c.maxBytes,
+		Pressure:           c.Pressure(),
+		BudgetEvictedBytes: c.nBudgetEvictBytes.Load(),
 	}
 	// Quotas and the rebalance counters read under quotaMu (which
 	// rebalance holds across install + counter bump), so a frame never

@@ -37,6 +37,11 @@ type settings struct {
 	autoselect bool
 	candidates []plru.Kind
 
+	maxBytes    uint64
+	hardBudgets bool
+	highMark    float64
+	lowMark     float64
+
 	sink MetricsSink
 }
 
@@ -114,6 +119,20 @@ func newSettings(opts []Option) (settings, error) {
 			return settings{}, err
 		}
 		s.candidates = kinds
+	}
+	if s.maxBytes > 0 && s.costFn == nil {
+		return settings{}, fmt.Errorf("cpacache: WithMaxBytes requires WithCost to measure entries")
+	}
+	if s.hardBudgets && s.costFn == nil {
+		return settings{}, fmt.Errorf("cpacache: WithHardBudgets requires WithCost to measure entries")
+	}
+	if s.highMark != 0 || s.lowMark != 0 {
+		if s.maxBytes == 0 {
+			return settings{}, fmt.Errorf("cpacache: WithPressureWatermarks requires WithMaxBytes")
+		}
+		if !(s.lowMark > 0 && s.lowMark < s.highMark && s.highMark <= 1) {
+			return settings{}, fmt.Errorf("cpacache: pressure watermarks must satisfy 0 < low < high <= 1, got high=%v low=%v", s.highMark, s.lowMark)
+		}
 	}
 	return s, nil
 }
@@ -231,11 +250,57 @@ func WithNow(fn func() int64) Option {
 // WithCost installs a cost function (typically bytes: key footprint +
 // value footprint) evaluated once per insert/update. The cache keeps a
 // per-tenant resident-cost gauge (TenantStats.Bytes) and uses it to
-// translate SetBudgets byte budgets into way caps at Rebalance time. K
-// and V must match the cache's type parameters; New reports an error
-// otherwise. Mutations to a value after Set are not re-measured.
+// translate SetBudgets byte budgets into way caps at Rebalance time; with
+// WithHardBudgets or WithMaxBytes the gauge also drives evict-on-write
+// enforcement. K and V must match the cache's type parameters; New
+// reports an error otherwise. Mutations to a value after Set are not
+// re-measured.
 func WithCost[K comparable, V any](fn func(key K, value V) uint64) Option {
 	return optionFunc(func(s *settings) error { s.costFn = fn; return nil })
+}
+
+// WithMaxBytes puts a hard cap on the cache's total resident cost as
+// measured by WithCost (which it requires). A Set/SetBatch that would
+// push the global gauge over n evicts victims on the write path —
+// expired lines first, then the writing tenant's own lines, then any
+// line — until the insert fits; a single entry costing more than n is
+// rejected with ErrEntryTooLarge. The cap also arms the pressure ladder
+// (see WithPressureWatermarks, Pressure): callers watch it to shed
+// writes and run maintenance aggressively as the gauge approaches the
+// cap.
+func WithMaxBytes(n uint64) Option {
+	return optionFunc(func(s *settings) error { s.maxBytes = n; return nil })
+}
+
+// WithHardBudgets upgrades SetBudgets from steering (byte budgets become
+// way caps at the next rebalance) to hard enforcement: a Set/SetBatch
+// that would push the writing tenant's Bytes gauge over its budget
+// reclaims expired lines and then evicts victims from that tenant's own
+// partition — chosen by the replacement policy under the current way
+// masks — until the insert fits. Forced displacements are accounted as
+// TenantStats.BudgetEvictions, distinct from capacity Evictions. A
+// single entry costing more than the tenant's whole budget is rejected
+// with ErrEntryTooLarge. Requires WithCost. Tenants without a budget
+// (SetBudgets 0) are unconstrained.
+func WithHardBudgets() Option {
+	return optionFunc(func(s *settings) error { s.hardBudgets = true; return nil })
+}
+
+// WithPressureWatermarks tunes the memory-pressure ladder armed by
+// WithMaxBytes (which it requires) as fractions of the cap: at
+// low×max bytes resident the cache enters PressureAggressive (the
+// background sweeper and auto-rebalance run on a shortened tick with
+// relaxed hysteresis); at high×max it enters PressureOOM — the signal
+// callers use to shed writes — which clears only once the gauge falls
+// back below low×max (hysteresis, so the state does not flap at the
+// boundary). Must satisfy 0 < low < high <= 1; the defaults are
+// high=0.9, low=0.75.
+func WithPressureWatermarks(high, low float64) Option {
+	return optionFunc(func(s *settings) error {
+		s.highMark = high
+		s.lowMark = low
+		return nil
+	})
 }
 
 // WithAutoRebalance runs Rebalance automatically every interval (> 0) on

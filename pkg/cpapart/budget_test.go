@@ -248,3 +248,25 @@ func TestCappedPanicsOnBadCaps(t *testing.T) {
 		MinMisses{}.AllocateCappedInto(nil, &s, curves, ways, []int{3, 3})
 	})
 }
+
+func TestAllocationExceeds(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Allocation
+		caps []int
+		want bool
+	}{
+		{name: "nil caps is unconstrained", a: Allocation{8, 8}, caps: nil, want: false},
+		{name: "within caps", a: Allocation{4, 2}, caps: []int{4, 2}, want: false},
+		{name: "one tenant over", a: Allocation{5, 2}, caps: []int{4, 4}, want: true},
+		{name: "last tenant over", a: Allocation{1, 1, 3}, caps: []int{2, 2, 2}, want: true},
+		{name: "zero allocation never exceeds", a: Allocation{0, 0}, caps: []int{0, 0}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Exceeds(tt.caps); got != tt.want {
+				t.Fatalf("Allocation(%v).Exceeds(%v) = %v, want %v", tt.a, tt.caps, got, tt.want)
+			}
+		})
+	}
+}

@@ -52,6 +52,22 @@ func (a Allocation) Valid(ways int) bool {
 // String renders e.g. "[10 4 1 1]".
 func (a Allocation) String() string { return fmt.Sprint([]int(a)) }
 
+// Exceeds reports whether any thread's share exceeds its cap. A nil caps
+// slice means unconstrained; caps must otherwise be at least as long as
+// the allocation. Callers enforcing byte budgets translate them into way
+// caps and use this to detect an installed allocation that violates them.
+func (a Allocation) Exceeds(caps []int) bool {
+	if caps == nil {
+		return false
+	}
+	for t, w := range a {
+		if w > caps[t] {
+			return true
+		}
+	}
+	return false
+}
+
 // Algorithm selects an allocation from per-thread miss curves.
 // curves[i][w] is the predicted miss count of thread i when assigned w
 // ways (w in 0..ways); curves must be non-increasing in w.
